@@ -1,0 +1,50 @@
+//! Benchmarks for CoFG construction (E4), parsing and the HAZOP table
+//! generation (E2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jcc_core::cofg::build_component_cofgs;
+use jcc_core::hazop::generate_table;
+use jcc_core::model::{examples, parse_component};
+use jcc_core::petri::JavaNet;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("model/parse_producer_consumer", |b| {
+        b.iter(|| black_box(parse_component(examples::PRODUCER_CONSUMER_SRC).unwrap()))
+    });
+    c.bench_function("model/parse_readers_writers", |b| {
+        b.iter(|| black_box(parse_component(examples::READERS_WRITERS_SRC).unwrap()))
+    });
+}
+
+fn bench_build_cofgs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cofg/build");
+    for (name, component) in examples::corpus() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(build_component_cofgs(&component).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hazop(c: &mut Criterion) {
+    let net = JavaNet::new(1);
+    c.bench_function("hazop/generate_table1", |b| {
+        b.iter(|| black_box(generate_table(&net).len()))
+    });
+}
+
+fn bench_mutations(c: &mut Criterion) {
+    let component = examples::producer_consumer();
+    c.bench_function("mutate/all_mutants", |b| {
+        b.iter(|| black_box(jcc_core::model::mutate::all_mutants(&component).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_parse, bench_build_cofgs, bench_hazop, bench_mutations
+}
+criterion_main!(benches);

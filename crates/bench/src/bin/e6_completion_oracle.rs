@@ -1,0 +1,107 @@
+//! E6 — the completion-time oracle on native threads: seed Table-1 faults
+//! into the Figure-2 monitor, run a deterministic ConAn-style schedule, and
+//! show that checking call completion times detects each fault and narrows
+//! it to the classes the paper predicts.
+
+use std::sync::Arc;
+
+use jcc_core::clock::{Schedule, TestDriver};
+use jcc_core::components::{PcFaults, ProducerConsumer};
+use jcc_core::detect::completion::{
+    check_completions, CompletionExpectation, Expectation,
+};
+use jcc_core::runtime::EventLog;
+
+fn run_schedule(faults: PcFaults) -> Vec<jcc_core::clock::CallRecord> {
+    let log = EventLog::new();
+    let pc = Arc::new(ProducerConsumer::with_faults(&log, faults));
+    let c1 = Arc::clone(&pc);
+    let p1 = Arc::clone(&pc);
+    let c2 = Arc::clone(&pc);
+    // The canonical deterministic test: a consumer that must block at t=1,
+    // a producer that releases it at t=2, a second consumer at t=3 that
+    // must block forever (only one character was sent).
+    let schedule = Schedule::new()
+        .call("receive#1", 1, move |_| {
+            let _ = c1.receive();
+        })
+        .call("send(x)", 2, move |_| {
+            let _ = p1.send("x");
+        })
+        .call("receive#2", 3, move |_| {
+            let _ = c2.receive();
+        });
+    let (records, _) = TestDriver::new().run(schedule);
+    records
+}
+
+fn expectations() -> Vec<Expectation> {
+    vec![
+        // The first receive completes exactly when the send wakes it.
+        Expectation::new("receive#1", CompletionExpectation::Between(2, 3)),
+        Expectation::new("send(x)", CompletionExpectation::Between(2, 3)),
+        // The second receive must stay suspended.
+        Expectation::new("receive#2", CompletionExpectation::Never),
+    ]
+}
+
+fn main() {
+    println!("=== E6: the completion-time oracle (ConAn technique) ===\n");
+    let cases: Vec<(&str, PcFaults, &str)> = vec![
+        ("correct component", PcFaults::default(), "-"),
+        (
+            "skip_wait (FF-T3)",
+            PcFaults {
+                skip_wait: true,
+                ..PcFaults::default()
+            },
+            "FF-T3",
+        ),
+        (
+            "drop_notify (FF-T5)",
+            PcFaults {
+                drop_notify: true,
+                ..PcFaults::default()
+            },
+            "FF-T5",
+        ),
+        (
+            "spurious_wait_in_send (EF-T3)",
+            PcFaults {
+                spurious_wait_in_send: true,
+                ..PcFaults::default()
+            },
+            "EF-T3",
+        ),
+    ];
+
+    for (label, faults, seeded) in cases {
+        println!("--- {label} ---");
+        let records = run_schedule(faults);
+        for r in &records {
+            println!(
+                "  {} released t={} completed {:?}",
+                r.label, r.released_at, r.completed_at
+            );
+        }
+        let violations = check_completions(&records, &expectations());
+        if violations.is_empty() {
+            println!("  oracle: PASS (all completion times as expected)\n");
+        } else {
+            for v in &violations {
+                let candidates: Vec<String> = v
+                    .candidate_classes()
+                    .iter()
+                    .map(|c| c.code())
+                    .collect();
+                println!(
+                    "  oracle: FAIL on {} — {:?}; candidate classes: {}",
+                    v.label,
+                    v.deviation,
+                    candidates.join(", ")
+                );
+            }
+            println!("  seeded class: {seeded}\n");
+        }
+    }
+}

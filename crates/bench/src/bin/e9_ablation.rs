@@ -1,0 +1,76 @@
+//! E9 — ablation: arc coverage alone vs. arc coverage plus the
+//! companion-work criteria (waiter plurality, post-wake observation,
+//! notify effectiveness, mixed waiters).
+//!
+//! Quantifies DESIGN.md's call-out that the extra goals are load-bearing:
+//! the arc-only suite passes the paper's Section-6 criterion yet misses
+//! mutants the strengthened suite kills.
+
+use jcc_core::model::examples;
+use jcc_core::pipeline::{mutation_study, MutationStudyConfig};
+use jcc_core::testgen::scenario::ScenarioSpace;
+use jcc_core::testgen::suite::GreedyConfig;
+use jcc_core::vm::{CallSpec, Value};
+
+fn main() {
+    let studies: Vec<(&str, jcc_core::model::Component, ScenarioSpace)> = vec![
+        (
+            "ProducerConsumer",
+            examples::producer_consumer(),
+            ScenarioSpace::new(vec![
+                CallSpec::new("receive", vec![]),
+                CallSpec::new("send", vec![Value::Str("a".into())]),
+                CallSpec::new("send", vec![Value::Str("ab".into())]),
+            ]),
+        ),
+        (
+            "Semaphore",
+            examples::semaphore(),
+            ScenarioSpace::new(vec![
+                CallSpec::new("init", vec![Value::Int(1)]),
+                CallSpec::new("acquire", vec![]),
+                CallSpec::new("release", vec![]),
+            ]),
+        ),
+    ];
+
+    println!("=== E9: suite-criteria ablation ===\n");
+    println!(
+        "{:<18} {:>16} {:>10} {:>18} {:>10}",
+        "component", "arc-only kills", "scenarios", "strengthened kills", "scenarios"
+    );
+    for (name, component, space) in studies {
+        let arc_only_cfg = MutationStudyConfig {
+            greedy: GreedyConfig {
+                extra_goals: false,
+                ..GreedyConfig::default()
+            },
+            ..MutationStudyConfig::default()
+        };
+        let arc_only = mutation_study(&component, &space, &arc_only_cfg);
+        let strengthened =
+            mutation_study(&component, &space, &MutationStudyConfig::default());
+        let (a, at) = arc_only.directed_score();
+        let (s, st) = strengthened.directed_score();
+        println!(
+            "{:<18} {:>12}/{:<3} {:>10} {:>14}/{:<3} {:>10}",
+            name, a, at, arc_only.directed_suite_size, s, st,
+            strengthened.directed_suite_size
+        );
+        // Which mutants does only the strengthened suite kill?
+        for (m_arc, m_str) in arc_only.mutants.iter().zip(&strengthened.mutants) {
+            assert_eq!(m_arc.mutation, m_str.mutation);
+            if !m_arc.detected_directed && m_str.detected_directed {
+                println!(
+                    "    gained by extra goals: {} ({})",
+                    m_str.mutation.label(),
+                    m_str.mutation.kind.seeded_class().code()
+                );
+            }
+        }
+    }
+    println!(
+        "\n(the extra goals implement the criteria of Harvey & Strooper 2001 — the\n\
+         paper's [13] — beyond the plain CoFG arc criterion of Section 6)"
+    );
+}

@@ -1,0 +1,18 @@
+//! # jcc-bench — experiment regeneration and benchmarks
+//!
+//! One binary per experiment of `DESIGN.md` §5 (`cargo run -p jcc-bench
+//! --bin <name>`):
+//!
+//! | binary                  | regenerates                                  |
+//! |-------------------------|----------------------------------------------|
+//! | `fig1_model`            | Figure 1 — the petri-net model               |
+//! | `table1_classification` | Table 1 — the failure classification         |
+//! | `fig2_monitor`          | Figure 2 — the producer–consumer monitor     |
+//! | `fig3_cofg`             | Figure 3 — the CoFGs for receive/send        |
+//! | `e5_mutation_study`     | E5 — directed vs random mutant detection     |
+//! | `e6_completion_oracle`  | E6 — the ConAn completion-time oracle        |
+//! | `e7_detectors`          | E7 — Eraser lockset + lock-order cycles      |
+//! | `e8_statespace`         | E8 — state-space growth                      |
+//! | `e9_ablation`           | E9 — arc-only vs strengthened suite criteria |
+//!
+//! Criterion benchmarks live in `benches/`.

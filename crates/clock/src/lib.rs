@@ -1,0 +1,27 @@
+//! # jcc-clock — the ConAn abstract clock and deterministic test driver
+//!
+//! The paper's testing notes rely on *checking call completion times* under
+//! deterministic execution, using the abstract clock of the ConAn tool
+//! (Long, Hoffman & Strooper 2001). The clock provides three operations:
+//!
+//! * [`AbstractClock::await_time`]`(t)` — delay the calling thread until the
+//!   clock reaches time `t`,
+//! * [`AbstractClock::tick`] — advance the time by one unit, waking any
+//!   threads awaiting that time,
+//! * [`AbstractClock::time`] — the number of units passed since the clock
+//!   started.
+//!
+//! [`driver`] builds the deterministic test driver on top: a schedule of
+//! labelled calls, each released at a chosen tick; the driver advances the
+//! clock, runs the calls on real threads against the component under test,
+//! and records each call's *completion time* — the oracle used to detect
+//! most of Table 1's failure classes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod driver;
+
+pub use clock::AbstractClock;
+pub use driver::{CallRecord, Schedule, ScheduledCall, TestDriver};

@@ -1,0 +1,132 @@
+//! Graphviz DOT export of CoFGs — regenerates Figure 3 graphically.
+
+use std::fmt::Write as _;
+
+use crate::graph::Cofg;
+
+/// Render one CoFG as a DOT digraph. Arc labels list the transition
+/// sequence; edge tooltips carry the traversal conditions.
+pub fn cofg_to_dot(g: &Cofg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cofg_{} {{", sanitize(&g.method));
+    let _ = writeln!(out, "  label=\"CoFG: {}.{}\";", g.component, g.method);
+    out.push_str("  rankdir=TB;\n");
+    for (i, _node) in g.nodes.iter().enumerate() {
+        let id = crate::graph::NodeId(i);
+        let _ = writeln!(
+            out,
+            "  n{i} [shape=ellipse, label=\"{}\"];",
+            g.label(id)
+        );
+    }
+    for arc in &g.arcs {
+        let fires = arc
+            .transitions
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let conds = arc
+            .witnesses
+            .iter()
+            .map(|w| {
+                if w.is_empty() {
+                    "always".to_string()
+                } else {
+                    w.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" && ")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{fires}\", tooltip=\"{conds}\"];",
+            arc.from.0, arc.to.0
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render every method's CoFG into one DOT file with clustered subgraphs
+/// (Figure 3 shows `receive` and `send` side by side).
+pub fn component_to_dot(graphs: &[Cofg]) -> String {
+    let mut out = String::new();
+    let name = graphs
+        .first()
+        .map(|g| g.component.clone())
+        .unwrap_or_default();
+    let _ = writeln!(out, "digraph cofgs_{} {{", sanitize(&name));
+    for (gi, g) in graphs.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{gi} {{");
+        let _ = writeln!(out, "    label=\"{}\";", g.method);
+        for (i, _) in g.nodes.iter().enumerate() {
+            let id = crate::graph::NodeId(i);
+            let _ = writeln!(
+                out,
+                "    g{gi}n{i} [shape=ellipse, label=\"{}\"];",
+                g.label(id)
+            );
+        }
+        for arc in &g.arcs {
+            let fires = arc
+                .transitions
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                out,
+                "    g{gi}n{} -> g{gi}n{} [label=\"{fires}\"];",
+                arc.from.0, arc.to.0
+            );
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_component_cofgs;
+    use jcc_model::examples;
+
+    #[test]
+    fn dot_contains_nodes_and_arcs() {
+        let c = examples::producer_consumer();
+        let graphs = build_component_cofgs(&c);
+        let dot = cofg_to_dot(&graphs[0]);
+        assert!(dot.contains("digraph cofg_receive"));
+        assert!(dot.contains("label=\"start\""));
+        assert!(dot.contains("label=\"wait\""));
+        assert!(dot.contains("label=\"notifyAll\""));
+        assert!(dot.contains("T1,T2,T3"));
+    }
+
+    #[test]
+    fn component_dot_has_one_cluster_per_method() {
+        let c = examples::producer_consumer();
+        let graphs = build_component_cofgs(&c);
+        let dot = component_to_dot(&graphs);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("label=\"receive\""));
+        assert!(dot.contains("label=\"send\""));
+    }
+
+    #[test]
+    fn sanitize_nonalnum() {
+        assert_eq!(sanitize("a-b.c"), "a_b_c");
+    }
+}

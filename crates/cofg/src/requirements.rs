@@ -1,0 +1,153 @@
+//! Test requirements: Brinch Hansen's step 1, automated.
+//!
+//! "For each monitor operation, the tester identifies a set of preconditions
+//! that will cause each branch of the operation to be executed at least
+//! once." With a CoFG in hand, the preconditions are mechanical: each arc
+//! is one requirement — make its source concurrency statement happen, put
+//! the component in a state satisfying the arc's conditions, and predict
+//! the transitions the traversal will fire.
+
+use crate::graph::{Cofg, NodeKind};
+
+/// One derived test requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Requirement {
+    /// The method under test.
+    pub method: String,
+    /// 1-based requirement number within the method (arc index + 1).
+    pub number: usize,
+    /// Human-readable obligation.
+    pub text: String,
+    /// Whether the requirement needs a second thread (any arc touching
+    /// `wait` or woken by a notification does).
+    pub needs_second_thread: bool,
+}
+
+/// Derive the requirement list for one method's CoFG.
+pub fn requirements(cofg: &Cofg) -> Vec<Requirement> {
+    cofg.arcs
+        .iter()
+        .enumerate()
+        .map(|(i, arc)| {
+            let from = cofg.node(arc.from);
+            let to = cofg.node(arc.to);
+            let mut clauses: Vec<String> = Vec::new();
+            clauses.push(match from.kind {
+                NodeKind::Start => format!("invoke `{}`", cofg.method),
+                NodeKind::Wait => "with the thread suspended at `wait`, have it notified".into(),
+                NodeKind::Notify | NodeKind::NotifyAll => {
+                    format!("continue past the `{}`", from.kind.display())
+                }
+                NodeKind::SyncEnter => format!("after acquiring `{}`", from.lock),
+                NodeKind::SyncExit => format!("after releasing `{}`", from.lock),
+                NodeKind::End => unreachable!("end has no outgoing arcs"),
+            });
+            for witness in arc.witnesses.first().into_iter() {
+                for cond in witness {
+                    clauses.push(format!(
+                        "arrange the state so that {} evaluates {}",
+                        cond.expr, cond.value
+                    ));
+                }
+            }
+            clauses.push(match to.kind {
+                NodeKind::Start => unreachable!("start has no incoming arcs"),
+                NodeKind::Wait => "so that the thread suspends at `wait`".into(),
+                NodeKind::Notify | NodeKind::NotifyAll => {
+                    format!("so that it reaches the `{}`", to.kind.display())
+                }
+                NodeKind::SyncEnter => format!("so that it requests `{}`", to.lock),
+                NodeKind::SyncExit => format!("so that it releases `{}`", to.lock),
+                NodeKind::End => "so that the call completes".into(),
+            });
+            let fires = arc
+                .transitions
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let needs_second_thread = matches!(from.kind, NodeKind::Wait)
+                || matches!(to.kind, NodeKind::Wait);
+            Requirement {
+                method: cofg.method.clone(),
+                number: i + 1,
+                text: format!("{} (fires {fires})", clauses.join("; ")),
+                needs_second_thread,
+            }
+        })
+        .collect()
+}
+
+/// Render a requirement list as a checklist.
+pub fn render_requirements(reqs: &[Requirement]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut current = "";
+    for r in reqs {
+        if r.method != current {
+            let _ = writeln!(out, "{}:", r.method);
+            current = &r.method;
+        }
+        let marker = if r.needs_second_thread { "[2+ threads]" } else { "[1 thread ok]" };
+        let _ = writeln!(out, "  {}. {} {}", r.number, marker, r.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_component_cofgs;
+    use jcc_model::examples;
+
+    #[test]
+    fn producer_consumer_requirements() {
+        let c = examples::producer_consumer();
+        let graphs = build_component_cofgs(&c);
+        let reqs = requirements(&graphs[0]);
+        assert_eq!(reqs.len(), 5, "one requirement per Figure-3 arc");
+        // The start->wait requirement mentions the guard and needs 2 threads.
+        let r1 = &reqs[0];
+        assert!(r1.text.contains("curPos"));
+        assert!(r1.needs_second_thread);
+        // The notifyAll->end requirement is single-thread satisfiable.
+        let last = reqs.iter().find(|r| r.text.contains("completes")).unwrap();
+        assert!(!last.needs_second_thread);
+    }
+
+    #[test]
+    fn rendering_groups_by_method() {
+        let c = examples::producer_consumer();
+        let graphs = build_component_cofgs(&c);
+        let mut all = requirements(&graphs[0]);
+        all.extend(requirements(&graphs[1]));
+        let text = render_requirements(&all);
+        assert!(text.contains("receive:"));
+        assert!(text.contains("send:"));
+        assert!(text.contains("[2+ threads]"));
+        assert!(text.contains("[1 thread ok]"));
+        assert_eq!(text.matches("  1. ").count(), 2);
+    }
+
+    #[test]
+    fn requirement_numbers_are_stable() {
+        let c = examples::bounded_buffer();
+        let graphs = build_component_cofgs(&c);
+        let a = requirements(&graphs[0]);
+        let b = requirements(&graphs[0]);
+        assert_eq!(a, b);
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.number, i + 1);
+        }
+    }
+
+    #[test]
+    fn sync_block_requirements_name_locks() {
+        let c = examples::lock_order_deadlock();
+        let graphs = build_component_cofgs(&c);
+        let reqs = requirements(&graphs[0]);
+        let text = render_requirements(&reqs);
+        assert!(text.contains('a'));
+        assert!(text.contains("requests `b`") || text.contains("acquiring `a`"), "{text}");
+    }
+}

@@ -1,0 +1,155 @@
+//! A cyclic barrier as a Java monitor, the native twin of
+//! [`jcc_model::examples::BARRIER_SRC`].
+
+use jcc_runtime::{EventLog, JavaMonitor};
+
+use crate::coverage::{mark, method_end, method_start};
+
+#[derive(Debug)]
+struct State {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable barrier: the `parties`-th arrival releases everyone and
+/// starts a new generation.
+#[derive(Debug)]
+pub struct Barrier {
+    monitor: JavaMonitor<State>,
+}
+
+impl Barrier {
+    /// A barrier for `parties` threads, reporting into `log`.
+    /// Panics when `parties` is zero.
+    pub fn new(log: &EventLog, parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        Barrier {
+            monitor: JavaMonitor::new(
+                "Barrier",
+                log,
+                State {
+                    parties,
+                    arrived: 0,
+                    generation: 0,
+                },
+            ),
+        }
+    }
+
+    fn log(&self) -> &EventLog {
+        self.monitor.log()
+    }
+
+    /// Arrive and wait for the rest of the generation. Returns the
+    /// generation number that was completed.
+    pub fn arrive_and_wait(&self) -> u64 {
+        method_start(self.log(), "await");
+        let guard = self.monitor.enter();
+        let gen = guard.read("generation", |s| s.generation);
+        let arrived = guard.write("arrived", |s| {
+            s.arrived += 1;
+            s.arrived
+        });
+        let parties = guard.with(|s| s.parties);
+        if arrived == parties {
+            guard.write("generation", |s| {
+                s.arrived = 0;
+                s.generation += 1;
+            });
+            mark(self.log(), "await", &[2, 2]);
+            guard.notify_all();
+            drop(guard);
+            method_end(self.log(), "await");
+            return gen;
+        }
+        while guard.read("generation", |s| s.generation == gen) {
+            mark(self.log(), "await", &[3, 0]);
+            guard.wait();
+        }
+        drop(guard);
+        method_end(self.log(), "await");
+        gen
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.monitor.enter().with(|s| s.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn all_parties_released_together() {
+        let log = EventLog::new();
+        let b = Arc::new(Barrier::new(&log, 4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.arrive_and_wait())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0);
+        }
+        assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let log = EventLog::new();
+        let b = Arc::new(Barrier::new(&log, 2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || (b.arrive_and_wait(), b.arrive_and_wait()))
+            })
+            .collect();
+        for h in handles {
+            let (g1, g2) = h.join().unwrap();
+            assert_eq!((g1, g2), (0, 1));
+        }
+        assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let log = EventLog::new();
+        let b = Barrier::new(&log, 1);
+        assert_eq!(b.arrive_and_wait(), 0);
+        assert_eq!(b.arrive_and_wait(), 1);
+        assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_panics() {
+        let log = EventLog::new();
+        let _ = Barrier::new(&log, 0);
+    }
+
+    #[test]
+    fn stress_many_generations() {
+        let log = EventLog::new();
+        let b = Arc::new(Barrier::new(&log, 3));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut gens = Vec::new();
+                    for _ in 0..25 {
+                        gens.push(b.arrive_and_wait());
+                    }
+                    gens
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), (0..25).collect::<Vec<u64>>());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! A one-slot bounded buffer of integers (symmetric producer–consumer),
+//! the native twin of [`jcc_model::examples::BOUNDED_BUFFER_SRC`].
+
+use jcc_runtime::{EventLog, JavaMonitor};
+
+use crate::coverage::{mark, method_end, method_start};
+
+#[derive(Debug, Default)]
+struct State {
+    value: i64,
+    full: bool,
+}
+
+/// A one-slot buffer: `put` blocks while full, `take` blocks while empty.
+#[derive(Debug)]
+pub struct BoundedBuffer {
+    monitor: JavaMonitor<State>,
+}
+
+impl BoundedBuffer {
+    /// A new empty buffer reporting into `log`.
+    pub fn new(log: &EventLog) -> Self {
+        BoundedBuffer {
+            monitor: JavaMonitor::new("BoundedBuffer", log, State::default()),
+        }
+    }
+
+    fn log(&self) -> &EventLog {
+        self.monitor.log()
+    }
+
+    /// Store `v`, blocking while the slot is occupied.
+    pub fn put(&self, v: i64) {
+        method_start(self.log(), "put");
+        let guard = self.monitor.enter();
+        while guard.read("full", |s| s.full) {
+            mark(self.log(), "put", &[0, 0]);
+            guard.wait();
+        }
+        guard.write("value", |s| {
+            s.value = v;
+            s.full = true;
+        });
+        mark(self.log(), "put", &[3]);
+        guard.notify_all();
+        drop(guard);
+        method_end(self.log(), "put");
+    }
+
+    /// Remove and return the value, blocking while the slot is empty.
+    pub fn take(&self) -> i64 {
+        method_start(self.log(), "take");
+        let guard = self.monitor.enter();
+        while guard.read("full", |s| !s.full) {
+            mark(self.log(), "take", &[0, 0]);
+            guard.wait();
+        }
+        let v = guard.write("full", |s| {
+            s.full = false;
+            s.value
+        });
+        mark(self.log(), "take", &[1]);
+        guard.notify_all();
+        drop(guard);
+        method_end(self.log(), "take");
+        v
+    }
+
+    /// Whether the slot currently holds a value.
+    pub fn is_full(&self) -> bool {
+        self.monitor.enter().with(|s| s.full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_clock::{Schedule, TestDriver};
+    use std::sync::Arc;
+
+    #[test]
+    fn put_take_roundtrip() {
+        let log = EventLog::new();
+        let b = BoundedBuffer::new(&log);
+        b.put(42);
+        assert!(b.is_full());
+        assert_eq!(b.take(), 42);
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn take_blocks_until_put() {
+        let log = EventLog::new();
+        let b = Arc::new(BoundedBuffer::new(&log));
+        let b1 = Arc::clone(&b);
+        let b2 = Arc::clone(&b);
+        let schedule = Schedule::new()
+            .call("take", 1, move |_| {
+                assert_eq!(b1.take(), 7);
+            })
+            .call("put", 2, move |_| b2.put(7));
+        let (records, _) = TestDriver::new().run(schedule);
+        assert!(records[0].completed_at.unwrap() >= 2);
+    }
+
+    #[test]
+    fn second_put_blocks_until_take() {
+        let log = EventLog::new();
+        let b = Arc::new(BoundedBuffer::new(&log));
+        b.put(1);
+        let b1 = Arc::clone(&b);
+        let b2 = Arc::clone(&b);
+        let schedule = Schedule::new()
+            .call("put2", 1, move |_| b1.put(2))
+            .call("take", 2, move |_| {
+                assert_eq!(b2.take(), 1);
+            });
+        let (records, _) = TestDriver::new().run(schedule);
+        assert!(records[0].completed_at.unwrap() >= 2, "{records:?}");
+    }
+
+    #[test]
+    fn many_items_flow_through_in_order() {
+        let log = EventLog::new();
+        let b = Arc::new(BoundedBuffer::new(&log));
+        let producer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    b.put(i);
+                }
+            })
+        };
+        let consumer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || (0..50).map(|_| b.take()).collect::<Vec<_>>())
+        };
+        producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,160 @@
+//! A generic capacity-bounded FIFO on the Java monitor — a library
+//! extension beyond the paper's corpus (no Monitor-IR twin). It shows the
+//! `JavaMonitor` API carrying a realistic component: generic payloads,
+//! capacity > 1, timed take.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use jcc_runtime::{EventLog, JavaMonitor};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+/// A blocking FIFO with fixed capacity.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    monitor: JavaMonitor<State<T>>,
+}
+
+impl<T> RingBuffer<T> {
+    /// A buffer holding at most `capacity` items, reporting into `log`.
+    /// Panics when `capacity` is zero.
+    pub fn new(log: &EventLog, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RingBuffer {
+            monitor: JavaMonitor::new(
+                "RingBuffer",
+                log,
+                State {
+                    items: VecDeque::with_capacity(capacity),
+                    capacity,
+                },
+            ),
+        }
+    }
+
+    /// Append `item`, blocking while the buffer is full.
+    pub fn push(&self, item: T) {
+        let guard = self.monitor.enter();
+        guard.wait_while(|s| s.items.len() >= s.capacity);
+        guard.with(|s| s.items.push_back(item));
+        guard.notify_all();
+    }
+
+    /// Remove the oldest item, blocking while the buffer is empty.
+    pub fn pop(&self) -> T {
+        let guard = self.monitor.enter();
+        guard.wait_while(|s| s.items.is_empty());
+        let item = guard.with(|s| s.items.pop_front().expect("nonempty after wait"));
+        guard.notify_all();
+        item
+    }
+
+    /// Like [`pop`](Self::pop) but gives up after `timeout`; `None` when
+    /// the buffer stayed empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let guard = self.monitor.enter();
+        loop {
+            if let Some(item) = guard.with(|s| s.items.pop_front()) {
+                guard.notify_all();
+                return Some(item);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            guard.wait_for(deadline - now);
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.monitor.enter().with(|s| s.items.len())
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let log = EventLog::new();
+        let rb = RingBuffer::new(&log, 4);
+        rb.push(1);
+        rb.push(2);
+        rb.push(3);
+        assert_eq!(rb.len(), 3);
+        assert_eq!((rb.pop(), rb.pop(), rb.pop()), (1, 2, 3));
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn pop_timeout_on_empty() {
+        let log = EventLog::new();
+        let rb: RingBuffer<u8> = RingBuffer::new(&log, 2);
+        assert_eq!(rb.pop_timeout(Duration::from_millis(15)), None);
+    }
+
+    #[test]
+    fn pop_timeout_gets_item() {
+        let log = EventLog::new();
+        let rb = Arc::new(RingBuffer::new(&log, 2));
+        let rb2 = Arc::clone(&rb);
+        let h = std::thread::spawn(move || rb2.pop_timeout(Duration::from_millis(500)));
+        std::thread::sleep(Duration::from_millis(20));
+        rb.push(9);
+        assert_eq!(h.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let log = EventLog::new();
+        let _: RingBuffer<u8> = RingBuffer::new(&log, 0);
+    }
+
+    #[test]
+    fn producers_and_consumers_stress() {
+        let log = EventLog::new();
+        let rb = Arc::new(RingBuffer::new(&log, 3));
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let rb = Arc::clone(&rb);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    rb.push(p * 100 + i);
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rb = Arc::clone(&rb);
+                std::thread::spawn(move || (0..25).map(|_| rb.pop()).collect::<Vec<i32>>())
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<i32> = (0..4).flat_map(|p| (0..25).map(move |i| p * 100 + i)).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+        assert!(rb.is_empty());
+    }
+}

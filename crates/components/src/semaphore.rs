@@ -1,0 +1,115 @@
+//! A counting semaphore as a Java monitor, the native twin of
+//! [`jcc_model::examples::SEMAPHORE_SRC`].
+
+use jcc_runtime::{EventLog, JavaMonitor};
+
+use crate::coverage::{mark, method_end, method_start};
+
+/// A counting semaphore: `acquire` blocks while no permits are available.
+#[derive(Debug)]
+pub struct Semaphore {
+    monitor: JavaMonitor<i64>,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` initial permits, reporting into `log`.
+    pub fn new(log: &EventLog, permits: i64) -> Self {
+        Semaphore {
+            monitor: JavaMonitor::new("Semaphore", log, permits),
+        }
+    }
+
+    fn log(&self) -> &EventLog {
+        self.monitor.log()
+    }
+
+    /// Take one permit, blocking until one is available.
+    pub fn acquire(&self) {
+        method_start(self.log(), "acquire");
+        let guard = self.monitor.enter();
+        while guard.read("permits", |&p| p == 0) {
+            mark(self.log(), "acquire", &[0, 0]);
+            guard.wait();
+        }
+        guard.write("permits", |p| *p -= 1);
+        drop(guard);
+        method_end(self.log(), "acquire");
+    }
+
+    /// Return one permit, waking waiters.
+    pub fn release(&self) {
+        method_start(self.log(), "release");
+        let guard = self.monitor.enter();
+        guard.write("permits", |p| *p += 1);
+        mark(self.log(), "release", &[1]);
+        guard.notify_all();
+        drop(guard);
+        method_end(self.log(), "release");
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> i64 {
+        self.monitor.enter().with(|p| *p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_clock::{Schedule, TestDriver};
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_counts() {
+        let log = EventLog::new();
+        let s = Semaphore::new(&log, 2);
+        s.acquire();
+        s.acquire();
+        assert_eq!(s.available(), 0);
+        s.release();
+        assert_eq!(s.available(), 1);
+    }
+
+    #[test]
+    fn acquire_blocks_at_zero() {
+        let log = EventLog::new();
+        let s = Arc::new(Semaphore::new(&log, 0));
+        let s1 = Arc::clone(&s);
+        let s2 = Arc::clone(&s);
+        let schedule = Schedule::new()
+            .call("acquire", 1, move |_| s1.acquire())
+            .call("release", 3, move |_| s2.release());
+        let (records, _) = TestDriver::new().run(schedule);
+        assert!(records[0].completed_at.unwrap() >= 3, "{records:?}");
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrent_holders() {
+        let log = EventLog::new();
+        let s = Arc::new(Semaphore::new(&log, 3));
+        let inside = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let peak = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let inside = Arc::clone(&inside);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    use std::sync::atomic::Ordering::SeqCst;
+                    for _ in 0..20 {
+                        s.acquire();
+                        let now = inside.fetch_add(1, SeqCst) + 1;
+                        peak.fetch_max(now, SeqCst);
+                        inside.fetch_sub(1, SeqCst);
+                        s.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(std::sync::atomic::Ordering::SeqCst) <= 3);
+        assert_eq!(s.available(), 3);
+    }
+}

@@ -1,0 +1,354 @@
+//! The end-to-end method: component → CoFGs → test sequences →
+//! (deterministic) execution → coverage + classified failures; and the
+//! mutation study (experiment E5).
+
+use jcc_cofg::{build_component_cofgs, Cofg};
+use jcc_detect::classify::{classify_explore, classify_outcome, Finding};
+use jcc_model::mutate::{all_mutants, Mutation};
+use jcc_model::validate::{validate, ValidationError};
+use jcc_model::Component;
+use jcc_testgen::scenario::{Scenario, ScenarioSpace};
+use jcc_testgen::signature::{enumerate_signatures, run_signature, EnumLimits};
+use jcc_testgen::suite::{greedy_cover_suite, random_suite, CoverageSuite, GreedyConfig};
+use jcc_vm::{compile, explore, CompiledComponent, ExploreConfig, RunConfig, RunOutcome, Scheduler, Vm};
+
+/// A prepared component: validated, compiled, with CoFGs built.
+#[derive(Debug)]
+pub struct Pipeline {
+    /// The source model.
+    pub component: Component,
+    /// The compiled form the VM executes.
+    pub compiled: CompiledComponent,
+    /// One CoFG per method.
+    pub cofgs: Vec<Cofg>,
+}
+
+impl Pipeline {
+    /// Validate, compile and build CoFGs. Returns the validation errors if
+    /// the component is not statically well-formed.
+    pub fn new(component: Component) -> Result<Self, Vec<ValidationError>> {
+        let errors = validate(&component);
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+        let compiled = compile(&component).expect("validated components compile");
+        let cofgs = build_component_cofgs(&component);
+        Ok(Pipeline {
+            component,
+            compiled,
+            cofgs,
+        })
+    }
+
+    /// Total CoFG arcs across all methods.
+    pub fn total_arcs(&self) -> usize {
+        self.cofgs.iter().map(|g| g.arcs.len()).sum()
+    }
+
+    /// Build the CoFG-directed suite.
+    pub fn directed_suite(&self, space: &ScenarioSpace, config: &GreedyConfig) -> CoverageSuite {
+        greedy_cover_suite(&self.component, space, config)
+    }
+
+    /// Build the undirected random baseline suite.
+    pub fn random_suite(&self, space: &ScenarioSpace, seed: u64, count: usize) -> CoverageSuite {
+        random_suite(&self.component, space, seed, count)
+    }
+
+    /// Run one scenario under a scheduler.
+    pub fn run(&self, scenario: &Scenario, scheduler: Scheduler) -> RunOutcome {
+        let mut vm = Vm::new(self.compiled.clone(), scenario.clone());
+        vm.run(&RunConfig {
+            scheduler,
+            max_steps: 20_000,
+        })
+    }
+
+    /// Run one scenario and classify whatever went wrong.
+    pub fn run_and_classify(
+        &self,
+        scenario: &Scenario,
+        scheduler: Scheduler,
+    ) -> (RunOutcome, Vec<Finding>) {
+        let outcome = self.run(scenario, scheduler);
+        let findings = classify_outcome(&outcome);
+        (outcome, findings)
+    }
+
+    /// Exhaustively explore one scenario and classify.
+    pub fn explore_and_classify(
+        &self,
+        scenario: &Scenario,
+        config: &ExploreConfig,
+    ) -> Vec<Finding> {
+        let vm = Vm::new(self.compiled.clone(), scenario.clone());
+        let result = explore(vm, config, None);
+        classify_explore(&result)
+    }
+}
+
+/// Configuration of the mutation study.
+#[derive(Debug, Clone)]
+pub struct MutationStudyConfig {
+    /// Greedy-suite construction parameters.
+    pub greedy: GreedyConfig,
+    /// Size of the random baseline suite (defaults to matching the directed
+    /// suite's size when `None`).
+    pub random_count: Option<usize>,
+    /// Seed for the random baseline.
+    pub random_seed: u64,
+    /// Limits for exhaustive signature enumeration.
+    pub limits: EnumLimits,
+}
+
+impl Default for MutationStudyConfig {
+    fn default() -> Self {
+        MutationStudyConfig {
+            greedy: GreedyConfig::default(),
+            random_count: None,
+            random_seed: 2003,
+            limits: EnumLimits {
+                max_states: 40_000,
+                max_depth: 1_000,
+            },
+        }
+    }
+}
+
+/// Per-mutant result of the study.
+#[derive(Debug, Clone)]
+pub struct MutantResult {
+    /// The mutation applied.
+    pub mutation: Mutation,
+    /// Detected by the CoFG-directed suite (exhaustive signature-set
+    /// comparison against the correct component)?
+    pub detected_directed: bool,
+    /// Detected by the random baseline (single random schedule per
+    /// scenario, same schedule replayed on the correct component)?
+    pub detected_random: bool,
+}
+
+/// The study's aggregate result.
+#[derive(Debug)]
+pub struct MutationStudyResult {
+    /// Component name.
+    pub component: String,
+    /// Directed suite size (scenarios).
+    pub directed_suite_size: usize,
+    /// Directed suite CoFG coverage ratio.
+    pub directed_coverage: f64,
+    /// Random suite size.
+    pub random_suite_size: usize,
+    /// Random suite CoFG coverage ratio.
+    pub random_coverage: f64,
+    /// Per-mutant outcomes.
+    pub mutants: Vec<MutantResult>,
+}
+
+impl MutationStudyResult {
+    /// (detected, total) for the directed suite, over behavioural mutants
+    /// only (EF-T1 mutants are behaviourally neutral by design).
+    pub fn directed_score(&self) -> (usize, usize) {
+        score(&self.mutants, |m| m.detected_directed)
+    }
+
+    /// (detected, total) for the random baseline.
+    pub fn random_score(&self) -> (usize, usize) {
+        score(&self.mutants, |m| m.detected_random)
+    }
+}
+
+fn score(mutants: &[MutantResult], f: impl Fn(&MutantResult) -> bool) -> (usize, usize) {
+    let behavioural: Vec<&MutantResult> = mutants
+        .iter()
+        .filter(|m| m.mutation.kind.is_behavioural_failure())
+        .collect();
+    let detected = behavioural.iter().filter(|m| f(m)).count();
+    (detected, behavioural.len())
+}
+
+/// Run the mutation study on `component` over `space`.
+pub fn mutation_study(
+    component: &Component,
+    space: &ScenarioSpace,
+    config: &MutationStudyConfig,
+) -> MutationStudyResult {
+    let pipeline = Pipeline::new(component.clone()).expect("study needs a valid component");
+    let directed = pipeline.directed_suite(space, &config.greedy);
+    let random_count = config.random_count.unwrap_or(directed.scenarios.len().max(1));
+    let random = pipeline.random_suite(space, config.random_seed, random_count);
+
+    // Reference signatures of the correct component: the full set of
+    // behaviours any schedule can produce. A mutant is detected only when
+    // it exhibits a behaviour the correct component *never* can — the sound
+    // version of "compare with the predicted output" (comparing two single
+    // runs would flag legal schedule differences as failures).
+    let correct_sig_sets: Vec<_> = directed
+        .scenarios
+        .iter()
+        .map(|s| enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits).0)
+        .collect();
+    // For the random baseline keep the truncation flag: a truncated
+    // enumeration is an *incomplete* prediction, and claiming detection
+    // against it would count legal-but-unenumerated behaviours as failures.
+    let correct_random_sets: Vec<_> = random
+        .scenarios
+        .iter()
+        .map(|s| enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits))
+        .collect();
+
+    let mut mutants = Vec::new();
+    for (mutation, mutant) in all_mutants(component) {
+        let Ok(mutant_compiled) = compile(&mutant) else {
+            // A mutant that fails to compile is trivially detected.
+            mutants.push(MutantResult {
+                mutation,
+                detected_directed: true,
+                detected_random: true,
+            });
+            continue;
+        };
+
+        let detected_directed = directed.scenarios.iter().zip(&correct_sig_sets).any(
+            |(scenario, correct)| {
+                let (sigs, _) = enumerate_signatures(
+                    Vm::new(mutant_compiled.clone(), scenario.clone()),
+                    config.limits,
+                );
+                sigs != *correct
+            },
+        );
+
+        let detected_random =
+            random
+                .scenarios
+                .iter()
+                .zip(&correct_random_sets)
+                .enumerate()
+                .any(|(i, (scenario, (correct_set, truncated)))| {
+                    if *truncated {
+                        return false; // incomplete prediction: no verdict
+                    }
+                    let mut vm = Vm::new(mutant_compiled.clone(), scenario.clone());
+                    let out = vm.run(&RunConfig {
+                        scheduler: Scheduler::Random(
+                            config.random_seed.wrapping_add(i as u64),
+                        ),
+                        max_steps: 20_000,
+                    });
+                    !correct_set.contains(&run_signature(&out))
+                });
+
+        mutants.push(MutantResult {
+            mutation,
+            detected_directed,
+            detected_random,
+        });
+    }
+
+    MutationStudyResult {
+        component: component.name.clone(),
+        directed_suite_size: directed.scenarios.len(),
+        directed_coverage: directed.coverage_ratio(),
+        random_suite_size: random.scenarios.len(),
+        random_coverage: random.coverage_ratio(),
+        mutants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_model::examples;
+    use jcc_vm::{CallSpec, Value};
+
+    fn pc_space() -> ScenarioSpace {
+        ScenarioSpace::new(vec![
+            CallSpec::new("receive", vec![]),
+            CallSpec::new("send", vec![Value::Str("a".into())]),
+            CallSpec::new("send", vec![Value::Str("ab".into())]),
+        ])
+    }
+
+    #[test]
+    fn pipeline_builds_for_corpus() {
+        for (_name, c) in examples::corpus() {
+            let p = Pipeline::new(c).unwrap();
+            assert!(p.total_arcs() >= 5);
+        }
+    }
+
+    #[test]
+    fn pipeline_rejects_invalid_component() {
+        let c = jcc_model::parse_component("class X { fn m() { wait; } }").unwrap();
+        assert!(Pipeline::new(c).is_err());
+    }
+
+    #[test]
+    fn run_and_classify_clean_component() {
+        let p = Pipeline::new(examples::producer_consumer()).unwrap();
+        let scenario = vec![
+            jcc_vm::ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            jcc_vm::ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            },
+        ];
+        let (outcome, findings) = p.run_and_classify(&scenario, Scheduler::RoundRobin);
+        assert!(!outcome.verdict.is_failure());
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn mutation_study_directed_dominates_random() {
+        let c = examples::producer_consumer();
+        let result = mutation_study(&c, &pc_space(), &MutationStudyConfig::default());
+        let (dir_detected, total) = result.directed_score();
+        let (rand_detected, _) = result.random_score();
+        assert!(total >= 15, "expected many behavioural mutants, got {total}");
+        // The directed suite detects every behavioural mutant EXCEPT the
+        // notify-for-notifyAll ones, which are *equivalent mutants* in
+        // Figure 2's monitor: every method ends by notifying after every
+        // state change and waiters re-check their predicate in a loop, so a
+        // single FIFO wake-up chain reproduces exactly the behaviours of
+        // notifyAll. (In components whose waiters wait on different
+        // predicates — e.g. readers–writers — the same mutation IS fatal and
+        // detected; see the E5 experiment binary.)
+        let undetected: Vec<String> = result
+            .mutants
+            .iter()
+            .filter(|m| m.mutation.kind.is_behavioural_failure() && !m.detected_directed)
+            .map(|m| m.mutation.label())
+            .collect();
+        assert!(
+            undetected
+                .iter()
+                .all(|l| l.contains("notify_instead_of_notify_all")),
+            "unexpected undetected mutants: {undetected:?}"
+        );
+        assert!(dir_detected >= total - 2, "{dir_detected}/{total}");
+        // And the directed suite dominates the random baseline.
+        assert!(dir_detected >= rand_detected);
+        assert!(result.directed_coverage >= result.random_coverage);
+    }
+
+    #[test]
+    fn directed_suite_detects_if_instead_of_while() {
+        // The EF-T5-exposure mutant needs the post-wake-observation goal:
+        // arc coverage alone missed it; the strengthened suite must not.
+        let c = examples::producer_consumer();
+        let result = mutation_study(&c, &pc_space(), &MutationStudyConfig::default());
+        for m in &result.mutants {
+            if m.mutation.kind == jcc_model::mutate::MutationKind::WaitIfInsteadOfWhile {
+                assert!(
+                    m.detected_directed,
+                    "undetected: {}",
+                    m.mutation.label()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text report rendering: Table 1 in the paper's layout, CoFG arc
+//! listings (Figure 3), coverage summaries and the mutation-study matrix.
+
+use std::fmt::Write as _;
+
+use jcc_cofg::Cofg;
+use jcc_cofg::coverage::CoverageTracker;
+
+use crate::hazop::TableRow;
+use crate::pipeline::MutationStudyResult;
+
+/// Render Table 1 — the concurrency failure classification — in the
+/// paper's column layout.
+pub fn render_table1(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1. Concurrency failure classification");
+    let _ = writeln!(out, "{}", "=".repeat(78));
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{} — {} of {} ({})",
+            row.class.code(),
+            row.class.deviation,
+            row.class.transition,
+            row.class.transition.description()
+        );
+        if !row.applicable {
+            let _ = writeln!(out, "  Cause:        not applicable (JVM assumed correct)");
+            let _ = writeln!(out, "{}", "-".repeat(78));
+            continue;
+        }
+        let _ = writeln!(out, "  Cause:        {}", row.cause);
+        let _ = writeln!(out, "  Conditions:   {}", row.conditions);
+        let _ = writeln!(out, "  Consequences: {}", row.consequences);
+        let _ = writeln!(out, "  Testing:      {}", row.testing_notes);
+        if let Some(name) = row.class.common_name() {
+            let _ = writeln!(out, "  Known as:     {name}");
+        }
+        let _ = writeln!(out, "{}", "-".repeat(78));
+    }
+    out
+}
+
+/// Render a method's CoFG as the paper's numbered arc list (Figure 3 text).
+pub fn render_cofg_arcs(cofg: &Cofg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CoFG for {}.{} — {} nodes, {} arcs",
+        cofg.component,
+        cofg.method,
+        cofg.nodes.len(),
+        cofg.arcs.len()
+    );
+    for (i, _arc) in cofg.arcs.iter().enumerate() {
+        let _ = writeln!(out, "  {}. {}", i + 1, cofg.describe_arc(i));
+    }
+    out
+}
+
+/// Render a coverage summary.
+pub fn render_coverage(tracker: &CoverageTracker) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CoFG arc coverage: {}/{} ({:.0}%)",
+        tracker.covered_arcs(),
+        tracker.total_arcs(),
+        tracker.ratio() * 100.0
+    );
+    for (method, covered, total) in tracker.per_method() {
+        let _ = writeln!(out, "  {method}: {covered}/{total}");
+    }
+    let uncovered = tracker.uncovered();
+    if !uncovered.is_empty() {
+        let _ = writeln!(out, "uncovered arcs:");
+        for (method, arc) in uncovered {
+            let _ = writeln!(out, "  {method}: {arc}");
+        }
+    }
+    out
+}
+
+/// Render the mutation-study matrix (experiment E5).
+pub fn render_study(result: &MutationStudyResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Mutation study — component {}", result.component);
+    let _ = writeln!(
+        out,
+        "directed suite: {} scenario(s), {:.0}% arc coverage",
+        result.directed_suite_size,
+        result.directed_coverage * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "random baseline: {} scenario(s), {:.0}% arc coverage",
+        result.random_suite_size,
+        result.random_coverage * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>6} {:>9} {:>7}",
+        "mutant", "class", "directed", "random"
+    );
+    for m in &result.mutants {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>6} {:>9} {:>7}",
+            m.mutation.label(),
+            m.mutation.kind.seeded_class().code(),
+            tick(m.detected_directed),
+            tick(m.detected_random)
+        );
+    }
+    let (dd, dt) = result.directed_score();
+    let (rd, rt) = result.random_score();
+    let _ = writeln!(
+        out,
+        "behavioural mutants detected: directed {dd}/{dt}, random {rd}/{rt}"
+    );
+    out
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazop::generate_table;
+    use jcc_cofg::build_component_cofgs;
+    use jcc_petri::JavaNet;
+
+    #[test]
+    fn table1_rendering_contains_all_rows() {
+        let text = render_table1(&generate_table(&JavaNet::new(1)));
+        for code in [
+            "FF-T1", "EF-T1", "FF-T2", "EF-T2", "FF-T3", "EF-T3", "FF-T4", "EF-T4", "FF-T5",
+            "EF-T5",
+        ] {
+            assert!(text.contains(code), "missing {code}");
+        }
+        assert!(text.contains("race condition"));
+        assert!(text.contains("JVM assumed correct"));
+    }
+
+    #[test]
+    fn cofg_arcs_render_numbered() {
+        let c = jcc_model::examples::producer_consumer();
+        let graphs = build_component_cofgs(&c);
+        let text = render_cofg_arcs(&graphs[0]);
+        assert!(text.contains("CoFG for ProducerConsumer.receive"));
+        assert!(text.contains("1. "));
+        assert!(text.contains("5. "));
+        assert!(!text.contains("6. "));
+    }
+
+    #[test]
+    fn coverage_report_renders() {
+        let c = jcc_model::examples::producer_consumer();
+        let tracker = jcc_cofg::CoverageTracker::new(build_component_cofgs(&c));
+        let text = render_coverage(&tracker);
+        assert!(text.contains("0/10"));
+        assert!(text.contains("uncovered arcs:"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Mapping detector output onto the ten Table-1 failure classes.
+
+use std::fmt;
+
+use jcc_petri::{Deviation, FailureClass, Transition};
+use jcc_vm::{ExploreResult, RunOutcome, Verdict};
+
+use crate::lockorder::LockOrderCycle;
+use crate::lockset::RaceReport;
+
+/// A classified finding: a Table-1 failure class with supporting evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The failure class.
+    pub class: FailureClass,
+    /// What was observed.
+    pub evidence: String,
+}
+
+impl Finding {
+    fn new(deviation: Deviation, transition: Transition, evidence: impl Into<String>) -> Self {
+        Finding {
+            class: FailureClass::new(deviation, transition),
+            evidence: evidence.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class.code(), self.evidence)
+    }
+}
+
+/// Classify a single VM run outcome.
+pub fn classify_outcome(outcome: &RunOutcome) -> Vec<Finding> {
+    use Deviation::*;
+    use Transition::*;
+    let mut out = Vec::new();
+    match &outcome.verdict {
+        Verdict::Completed => {}
+        Verdict::Deadlock { waiting, blocked } => {
+            if !waiting.is_empty() {
+                out.push(Finding::new(
+                    FailureToFire,
+                    T5,
+                    format!(
+                        "thread(s) {waiting:?} permanently suspended in a wait set — no \
+                         notification will ever arrive"
+                    ),
+                ));
+            }
+            if !blocked.is_empty() {
+                out.push(Finding::new(
+                    FailureToFire,
+                    T2,
+                    format!(
+                        "thread(s) {blocked:?} blocked forever acquiring an object lock"
+                    ),
+                ));
+                out.push(Finding::new(
+                    FailureToFire,
+                    T4,
+                    "some thread never released the lock the blocked threads need",
+                ));
+            }
+        }
+        Verdict::StepLimit => {
+            out.push(Finding::new(
+                FailureToFire,
+                T4,
+                "step budget exhausted — a thread loops without leaving its critical section \
+                 (or the system livelocks)",
+            ));
+        }
+        Verdict::Faulted { thread, message } => {
+            if message.contains("IllegalMonitorState") {
+                out.push(Finding::new(
+                    FailureToFire,
+                    T1,
+                    format!(
+                        "thread {thread} used wait/notify without entering the monitor: {message}"
+                    ),
+                ));
+            } else {
+                out.push(Finding::new(
+                    FailureToFire,
+                    T3,
+                    format!(
+                        "thread {thread} faulted inside the component ({message}) — a guard \
+                         was bypassed (missed wait) or state was corrupted"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Classify an exhaustive-exploration result.
+pub fn classify_explore(result: &ExploreResult) -> Vec<Finding> {
+    use Deviation::*;
+    use Transition::*;
+    let mut out = Vec::new();
+    if let Some(w) = &result.deadlock_witness {
+        out.extend(classify_outcome(w));
+    }
+    if let Some(w) = &result.fault_witness {
+        out.extend(classify_outcome(w));
+    }
+    if result.cycle_paths > 0 {
+        let evidence = if result.inescapable_cycles > 0 {
+            format!(
+                "{} schedule(s) enter a loop no other thread can break — a critical section \
+                 is never left",
+                result.inescapable_cycles
+            )
+        } else {
+            format!(
+                "{} schedule(s) can repeat a state forever without completing a call",
+                result.cycle_paths
+            )
+        };
+        out.push(Finding::new(FailureToFire, T4, evidence));
+    }
+    dedupe(&mut out);
+    out
+}
+
+/// Classify lockset race reports (FF-T1: interference).
+pub fn classify_races(races: &[RaceReport]) -> Vec<Finding> {
+    races
+        .iter()
+        .map(|r| {
+            Finding::new(
+                Deviation::FailureToFire,
+                Transition::T1,
+                format!(
+                    "variable `{}` accessed by multiple threads with an empty candidate \
+                     lockset (thread {} {} without consistent locking)",
+                    r.var,
+                    r.thread,
+                    if r.on_write { "wrote" } else { "read" }
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Classify lock-order cycles (potential FF-T2: permanent suspension).
+pub fn classify_cycles(cycles: &[LockOrderCycle]) -> Vec<Finding> {
+    cycles
+        .iter()
+        .map(|c| {
+            Finding::new(
+                Deviation::FailureToFire,
+                Transition::T2,
+                format!(
+                    "locks {:?} are acquired in inconsistent orders — two threads can block \
+                     each other forever",
+                    c.locks
+                ),
+            )
+        })
+        .collect()
+}
+
+/// One-call dynamic analysis of a normalized event stream: lockset races,
+/// happens-before races and lock-order cycles, merged into Table-1
+/// findings. A race flagged by *both* lockset and happens-before is
+/// reported once, with the stronger (precise) evidence.
+pub fn classify_trace_events(events: &[crate::normalize::MonEvent]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let hb_races = crate::hb::HbAnalyzer::analyze(events);
+    let hb_vars: std::collections::BTreeSet<&str> =
+        hb_races.iter().map(|r| r.var.as_str()).collect();
+    for r in &hb_races {
+        out.push(Finding::new(
+            Deviation::FailureToFire,
+            Transition::T1,
+            format!(
+                "variable `{}` has two unordered accesses (happens-before race, thread {} {})",
+                r.var,
+                r.thread,
+                if r.on_write { "writing" } else { "reading" }
+            ),
+        ));
+    }
+    // Lockset findings only for variables HB did not already prove racy
+    // (lockset is the heuristic over-approximation of the same failure).
+    let lockset_races = crate::lockset::LocksetAnalyzer::analyze(events);
+    for r in &lockset_races {
+        if !hb_vars.contains(r.var.as_str()) {
+            out.push(Finding::new(
+                Deviation::FailureToFire,
+                Transition::T1,
+                format!(
+                    "variable `{}` accessed with inconsistent locking (empty candidate lockset; no race observed in this trace, but none of the locks protects it)",
+                    r.var
+                ),
+            ));
+        }
+    }
+    let cycles = crate::lockorder::LockOrderGraph::build(events).cycles();
+    out.extend(classify_cycles(&cycles));
+    dedupe(&mut out);
+    out
+}
+
+fn dedupe(findings: &mut Vec<Finding>) {
+    let mut seen = std::collections::HashSet::new();
+    findings.retain(|f| seen.insert((f.class, f.evidence.clone())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_model::examples;
+    use jcc_model::mutate::{apply_mutation, enumerate_mutations, MutationKind};
+    use jcc_vm::{compile, explore, CallSpec, ExploreConfig, RunConfig, ThreadSpec, Value, Vm};
+
+    fn pc_threads() -> Vec<ThreadSpec> {
+        vec![
+            ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            },
+        ]
+    }
+
+    #[test]
+    fn completed_run_has_no_findings() {
+        let c = examples::producer_consumer();
+        let mut vm = Vm::new(compile(&c).unwrap(), pc_threads());
+        let out = vm.run(&RunConfig::default());
+        assert!(classify_outcome(&out).is_empty());
+    }
+
+    #[test]
+    fn lone_waiter_classified_ff_t5() {
+        let c = examples::producer_consumer();
+        let mut vm = Vm::new(
+            compile(&c).unwrap(),
+            vec![ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            }],
+        );
+        let out = vm.run(&RunConfig::default());
+        let findings = classify_outcome(&out);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].class.code(), "FF-T5");
+    }
+
+    #[test]
+    fn drop_notify_mutant_classified_ff_t5_by_exploration() {
+        let c = examples::producer_consumer();
+        let m = enumerate_mutations(&c)
+            .into_iter()
+            .find(|m| m.kind == MutationKind::DropNotify && m.method == "send")
+            .unwrap();
+        let mutant = apply_mutation(&c, &m).unwrap();
+        let vm = Vm::new(compile(&mutant).unwrap(), pc_threads());
+        let r = explore(vm, &ExploreConfig::default(), None);
+        let findings = classify_explore(&r);
+        assert!(
+            findings.iter().any(|f| f.class.code() == "FF-T5"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn hold_lock_forever_classified_ff_t4() {
+        let c = examples::producer_consumer();
+        let m = enumerate_mutations(&c)
+            .into_iter()
+            .find(|m| m.kind == MutationKind::HoldLockForever && m.method == "send")
+            .unwrap();
+        let mutant = apply_mutation(&c, &m).unwrap();
+        let vm = Vm::new(compile(&mutant).unwrap(), pc_threads());
+        let r = explore(vm, &ExploreConfig::default(), None);
+        let findings = classify_explore(&r);
+        assert!(
+            findings.iter().any(|f| f.class.code() == "FF-T4"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn illegal_monitor_state_classified_ff_t1() {
+        let c = examples::producer_consumer();
+        let m = enumerate_mutations(&c)
+            .into_iter()
+            .find(|m| m.kind == MutationKind::DropSynchronized && m.method == "send")
+            .unwrap();
+        let mutant = apply_mutation(&c, &m).unwrap();
+        let mut vm = Vm::new(compile(&mutant).unwrap(), pc_threads());
+        let out = vm.run(&RunConfig::default());
+        let findings = classify_outcome(&out);
+        assert!(
+            findings.iter().any(|f| f.class.code() == "FF-T1"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn races_and_cycles_classified() {
+        let races = vec![RaceReport {
+            var: "count".into(),
+            on_write: true,
+            thread: 2,
+            event_index: 5,
+        }];
+        let f = classify_races(&races);
+        assert_eq!(f[0].class.code(), "FF-T1");
+        assert!(f[0].evidence.contains("count"));
+
+        let cycles = vec![LockOrderCycle { locks: vec![1, 2] }];
+        let f = classify_cycles(&cycles);
+        assert_eq!(f[0].class.code(), "FF-T2");
+    }
+
+    #[test]
+    fn finding_display() {
+        let f = Finding::new(Deviation::FailureToFire, Transition::T5, "lost wakeup");
+        assert_eq!(f.to_string(), "FF-T5: lost wakeup");
+    }
+
+    #[test]
+    fn classify_trace_events_merges_detectors() {
+        use crate::normalize::{MonEvent, MonEventKind};
+        // An HB race on `x`, a lockset-only inconsistency on `y` (ordered
+        // via a handoff lock but protected by different locks), and a lock
+        // order cycle between 8 and 9.
+        let e = |thread, kind| MonEvent { thread, kind };
+        use MonEventKind::*;
+        let events = vec![
+            // HB race on x
+            e(1, Write("x".into())),
+            e(2, Write("x".into())),
+            // y: thread 1 under lock 10, handoff to thread 2 via lock 7,
+            // thread 2 under lock 20, handoff back via lock 6, thread 1
+            // under lock 10 again — every pair ordered, but no common lock.
+            e(1, Acquire(10)),
+            e(1, Write("y".into())),
+            e(1, Release(10)),
+            e(1, Acquire(7)),
+            e(1, Release(7)),
+            e(2, Acquire(7)),
+            e(2, Release(7)),
+            e(2, Acquire(20)),
+            e(2, Write("y".into())),
+            e(2, Release(20)),
+            e(2, Acquire(6)),
+            e(2, Release(6)),
+            e(1, Acquire(6)),
+            e(1, Release(6)),
+            e(1, Acquire(10)),
+            e(1, Write("y".into())),
+            e(1, Release(10)),
+            // lock-order cycle
+            e(3, Acquire(8)),
+            e(3, Acquire(9)),
+            e(3, Release(9)),
+            e(3, Release(8)),
+            e(4, Acquire(9)),
+            e(4, Acquire(8)),
+            e(4, Release(8)),
+            e(4, Release(9)),
+        ];
+        let findings = classify_trace_events(&events);
+        let texts: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("`x`") && t.contains("happens-before")),
+            "{texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.contains("`y`") && t.contains("inconsistent locking")),
+            "{texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.starts_with("FF-T2")),
+            "{texts:?}"
+        );
+        // x reported once, by the precise detector only.
+        assert_eq!(
+            texts.iter().filter(|t| t.contains("`x`")).count(),
+            1,
+            "{texts:?}"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! The Eraser lockset algorithm (Savage, Burrows, Nelson, Sobalvarro &
+//! Anderson 1997) — the dynamic data-race detector the paper cites as the
+//! technique for FF-T1 (interference).
+//!
+//! Per shared variable, the analyzer tracks a state machine and a candidate
+//! lockset `C(v)`:
+//!
+//! * **Virgin** → first access moves to **Exclusive(t)** (one thread only —
+//!   initialization is exempt),
+//! * a second thread moves to **Shared** (reads) or **SharedModified**
+//!   (writes), refining `C(v)` to the intersection of locks held at each
+//!   access,
+//! * an empty `C(v)` in **SharedModified** is a race report.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::normalize::{MonEvent, MonEventKind};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VarState {
+    Virgin,
+    Exclusive(u64),
+    Shared,
+    SharedModified,
+}
+
+/// A reported potential race on one variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The variable.
+    pub var: String,
+    /// Whether the offending access was a write.
+    pub on_write: bool,
+    /// The accessing thread.
+    pub thread: u64,
+    /// Index of the offending event in the analyzed stream.
+    pub event_index: usize,
+}
+
+/// The lockset analyzer. Feed events with [`LocksetAnalyzer::observe`] or
+/// run a whole stream with [`LocksetAnalyzer::analyze`].
+#[derive(Debug, Default)]
+pub struct LocksetAnalyzer {
+    held: HashMap<u64, BTreeSet<u64>>,
+    state: HashMap<String, VarState>,
+    candidates: HashMap<String, BTreeSet<u64>>,
+    reported: BTreeSet<String>,
+    races: Vec<RaceReport>,
+    index: usize,
+}
+
+impl LocksetAnalyzer {
+    /// A fresh analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run the whole stream and return the race reports.
+    pub fn analyze(events: &[MonEvent]) -> Vec<RaceReport> {
+        let mut a = Self::new();
+        for e in events {
+            a.observe(e);
+        }
+        a.into_races()
+    }
+
+    /// Locks currently held by `thread` as far as the analyzer has seen.
+    pub fn held_by(&self, thread: u64) -> BTreeSet<u64> {
+        self.held.get(&thread).cloned().unwrap_or_default()
+    }
+
+    /// Feed one event.
+    pub fn observe(&mut self, event: &MonEvent) {
+        match &event.kind {
+            MonEventKind::Acquire(lock) => {
+                self.held.entry(event.thread).or_default().insert(*lock);
+            }
+            MonEventKind::Release(lock) => {
+                if let Some(set) = self.held.get_mut(&event.thread) {
+                    set.remove(lock);
+                }
+            }
+            MonEventKind::Read(var) => self.access(event.thread, var, false),
+            MonEventKind::Write(var) => self.access(event.thread, var, true),
+        }
+        self.index += 1;
+    }
+
+    fn access(&mut self, thread: u64, var: &str, is_write: bool) {
+        let held = self.held.get(&thread).cloned().unwrap_or_default();
+        let state = self
+            .state
+            .get(var)
+            .cloned()
+            .unwrap_or(VarState::Virgin);
+        let next = match (&state, is_write) {
+            (VarState::Virgin, _) => VarState::Exclusive(thread),
+            (VarState::Exclusive(t), _) if *t == thread => VarState::Exclusive(thread),
+            (VarState::Exclusive(_), false) => {
+                // Second thread reads: enter Shared, initialize candidates.
+                self.candidates.insert(var.to_string(), held.clone());
+                VarState::Shared
+            }
+            (VarState::Exclusive(_), true) => {
+                self.candidates.insert(var.to_string(), held.clone());
+                VarState::SharedModified
+            }
+            (VarState::Shared, false) => {
+                self.refine(var, &held);
+                VarState::Shared
+            }
+            (VarState::Shared, true) => {
+                self.refine(var, &held);
+                VarState::SharedModified
+            }
+            (VarState::SharedModified, _) => {
+                self.refine(var, &held);
+                VarState::SharedModified
+            }
+        };
+        let in_shared_modified = next == VarState::SharedModified;
+        self.state.insert(var.to_string(), next);
+        if in_shared_modified
+            && self
+                .candidates
+                .get(var)
+                .map(BTreeSet::is_empty)
+                .unwrap_or(false)
+            && self.reported.insert(var.to_string())
+        {
+            self.races.push(RaceReport {
+                var: var.to_string(),
+                on_write: is_write,
+                thread,
+                event_index: self.index,
+            });
+        }
+    }
+
+    fn refine(&mut self, var: &str, held: &BTreeSet<u64>) {
+        if let Some(c) = self.candidates.get_mut(var) {
+            *c = c.intersection(held).copied().collect();
+        }
+    }
+
+    /// Finish and return the reports.
+    pub fn into_races(self) -> Vec<RaceReport> {
+        self.races
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acq(thread: u64, lock: u64) -> MonEvent {
+        MonEvent {
+            thread,
+            kind: MonEventKind::Acquire(lock),
+        }
+    }
+    fn rel(thread: u64, lock: u64) -> MonEvent {
+        MonEvent {
+            thread,
+            kind: MonEventKind::Release(lock),
+        }
+    }
+    fn rd(thread: u64, var: &str) -> MonEvent {
+        MonEvent {
+            thread,
+            kind: MonEventKind::Read(var.to_string()),
+        }
+    }
+    fn wr(thread: u64, var: &str) -> MonEvent {
+        MonEvent {
+            thread,
+            kind: MonEventKind::Write(var.to_string()),
+        }
+    }
+
+    #[test]
+    fn consistently_locked_variable_is_clean() {
+        let events = vec![
+            acq(1, 10),
+            wr(1, "x"),
+            rel(1, 10),
+            acq(2, 10),
+            wr(2, "x"),
+            rel(2, 10),
+            acq(1, 10),
+            rd(1, "x"),
+            rel(1, 10),
+        ];
+        assert!(LocksetAnalyzer::analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn unlocked_shared_write_is_a_race() {
+        let events = vec![wr(1, "x"), wr(2, "x")];
+        let races = LocksetAnalyzer::analyze(&events);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].var, "x");
+        assert!(races[0].on_write);
+        assert_eq!(races[0].thread, 2);
+    }
+
+    #[test]
+    fn initialization_by_single_thread_exempt() {
+        // One thread reads and writes without locks: no race.
+        let events = vec![wr(1, "x"), rd(1, "x"), wr(1, "x")];
+        assert!(LocksetAnalyzer::analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn read_shared_without_locks_not_reported_until_written() {
+        // Threads only read after initialization: Shared, never
+        // SharedModified — Eraser stays quiet.
+        let events = vec![wr(1, "x"), rd(2, "x"), rd(3, "x")];
+        assert!(LocksetAnalyzer::analyze(&events).is_empty());
+        // A later unprotected write tips it into a race.
+        let mut events = events;
+        events.push(wr(3, "x"));
+        let races = LocksetAnalyzer::analyze(&events);
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn inconsistent_locks_detected() {
+        // Thread 1 protects x with lock 10, thread 2 with lock 20. The
+        // candidate set starts at {20} on the first shared access and the
+        // third access intersects it to ∅.
+        let events = vec![
+            acq(1, 10),
+            wr(1, "x"),
+            rel(1, 10),
+            acq(2, 20),
+            wr(2, "x"),
+            rel(2, 20),
+            acq(1, 10),
+            wr(1, "x"),
+            rel(1, 10),
+        ];
+        let races = LocksetAnalyzer::analyze(&events);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].thread, 1);
+    }
+
+    #[test]
+    fn one_report_per_variable() {
+        let events = vec![wr(1, "x"), wr(2, "x"), wr(1, "x"), wr(2, "x")];
+        assert_eq!(LocksetAnalyzer::analyze(&events).len(), 1);
+    }
+
+    #[test]
+    fn distinct_variables_reported_separately() {
+        let events = vec![wr(1, "x"), wr(2, "x"), wr(1, "y"), wr(2, "y")];
+        let races = LocksetAnalyzer::analyze(&events);
+        let vars: Vec<_> = races.iter().map(|r| r.var.clone()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn reentrant_holding_keeps_protection() {
+        // Release of one of two held locks keeps the other protecting x.
+        let events = vec![
+            acq(1, 10),
+            acq(1, 20),
+            wr(1, "x"),
+            rel(1, 20),
+            rel(1, 10),
+            acq(2, 10),
+            wr(2, "x"),
+            rel(2, 10),
+        ];
+        assert!(LocksetAnalyzer::analyze(&events).is_empty());
+    }
+
+    #[test]
+    fn racy_counter_component_detected_via_vm() {
+        use jcc_vm::{compile, CallSpec, RunConfig, Scheduler, ThreadSpec, Vm};
+        let c = jcc_model::examples::racy_counter();
+        let mut vm = Vm::new(
+            compile(&c).unwrap(),
+            vec![
+                ThreadSpec {
+                    name: "a".into(),
+                    calls: vec![CallSpec::new("increment", vec![])],
+                },
+                ThreadSpec {
+                    name: "b".into(),
+                    calls: vec![CallSpec::new("increment", vec![])],
+                },
+            ],
+        );
+        let out = vm.run(&RunConfig {
+            scheduler: Scheduler::RoundRobin,
+            max_steps: 10_000,
+        });
+        let norm = crate::normalize::from_vm_trace(&out.trace);
+        let races = LocksetAnalyzer::analyze(&norm);
+        assert!(
+            races.iter().any(|r| r.var == "count"),
+            "unsynchronized counter must race: {races:?}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Normalization of the two event sources (native runtime log, VM trace)
+//! into one monitor-event shape the detectors consume.
+
+use jcc_petri::Transition;
+use jcc_runtime::{Event, EventKind};
+use jcc_vm::{TraceEvent, TraceEventKind};
+
+/// What a normalized event records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonEventKind {
+    /// The thread now holds `lock` (T2; reentrant re-entries are invisible,
+    /// which is correct for lockset purposes — the lock stays held).
+    Acquire(u64),
+    /// The thread no longer holds `lock` (T4, or the release half of T3).
+    Release(u64),
+    /// A read of a shared variable.
+    Read(String),
+    /// A write of a shared variable.
+    Write(String),
+}
+
+/// A normalized monitor event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonEvent {
+    /// Thread id (runtime thread id, or VM thread index widened).
+    pub thread: u64,
+    /// What happened.
+    pub kind: MonEventKind,
+}
+
+/// Normalize a native runtime event log.
+pub fn from_runtime_log(events: &[Event]) -> Vec<MonEvent> {
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let kind = match &e.kind {
+            EventKind::Transition(Transition::T2) => Some(MonEventKind::Acquire(e.monitor.0)),
+            EventKind::Transition(Transition::T3) | EventKind::Transition(Transition::T4) => {
+                Some(MonEventKind::Release(e.monitor.0))
+            }
+            EventKind::Read { var } => Some(MonEventKind::Read(var.clone())),
+            EventKind::Write { var } => Some(MonEventKind::Write(var.clone())),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            out.push(MonEvent {
+                thread: e.thread,
+                kind,
+            });
+        }
+    }
+    out
+}
+
+/// Normalize a VM trace. Lock indices become lock ids directly; VM thread
+/// indices become thread ids.
+pub fn from_vm_trace(trace: &[TraceEvent]) -> Vec<MonEvent> {
+    let mut out = Vec::with_capacity(trace.len());
+    for e in trace {
+        let kind = match &e.kind {
+            TraceEventKind::Transition {
+                t: Transition::T2,
+                lock,
+            } => Some(MonEventKind::Acquire(*lock as u64)),
+            TraceEventKind::Transition {
+                t: Transition::T3,
+                lock,
+            }
+            | TraceEventKind::Transition {
+                t: Transition::T4,
+                lock,
+            } => Some(MonEventKind::Release(*lock as u64)),
+            TraceEventKind::FieldRead { field } => Some(MonEventKind::Read(field.clone())),
+            TraceEventKind::FieldWrite { field } => Some(MonEventKind::Write(field.clone())),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            out.push(MonEvent {
+                thread: e.thread as u64,
+                kind,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_runtime::{EventLog, JavaMonitor};
+
+    #[test]
+    fn runtime_log_normalizes_lock_events() {
+        let log = EventLog::new();
+        let m = JavaMonitor::new("m", &log, 0u32);
+        {
+            let g = m.enter();
+            g.write("v", |d| *d = 1);
+            g.read("v", |d| *d);
+        }
+        let norm = from_runtime_log(&log.snapshot());
+        let kinds: Vec<_> = norm.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], MonEventKind::Acquire(_)));
+        assert!(matches!(kinds[1], MonEventKind::Write(v) if v == "v"));
+        assert!(matches!(kinds[2], MonEventKind::Read(v) if v == "v"));
+        assert!(matches!(kinds[3], MonEventKind::Release(_)));
+    }
+
+    #[test]
+    fn vm_trace_normalizes() {
+        use jcc_vm::{compile, CallSpec, RunConfig, ThreadSpec, Value, Vm};
+        let c = jcc_model::examples::producer_consumer();
+        let mut vm = Vm::new(
+            compile(&c).unwrap(),
+            vec![ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            }],
+        );
+        let out = vm.run(&RunConfig::default());
+        let norm = from_vm_trace(&out.trace);
+        // First lock event is the acquire of `this` (lock 0).
+        let first_lock = norm
+            .iter()
+            .find(|e| matches!(e.kind, MonEventKind::Acquire(_)))
+            .unwrap();
+        assert_eq!(first_lock.kind, MonEventKind::Acquire(0));
+        // Writes to contents/totalLength/curPos appear.
+        let writes: Vec<_> = norm
+            .iter()
+            .filter_map(|e| match &e.kind {
+                MonEventKind::Write(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes, vec!["contents", "totalLength", "curPos"]);
+    }
+}

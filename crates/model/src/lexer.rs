@@ -1,0 +1,581 @@
+//! Lexer for the component DSL — a Java-flavoured surface syntax for the
+//! Monitor IR.
+//!
+//! ```text
+//! class ProducerConsumer {
+//!   var contents: str = "";
+//!   var curPos: int = 0;
+//!
+//!   synchronized fn receive() -> str {
+//!     while (curPos == 0) { wait; }
+//!     ...
+//!   }
+//! }
+//! ```
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// The token kinds of the DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords
+    /// `class`
+    Class,
+    /// `var`
+    Var,
+    /// `lock`
+    Lock,
+    /// `fn`
+    Fn,
+    /// `synchronized`
+    Synchronized,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `wait`
+    Wait,
+    /// `notify`
+    Notify,
+    /// `notifyAll`
+    NotifyAll,
+    /// `return`
+    Return,
+    /// `let`
+    Let,
+    /// `skip`
+    Skip,
+    /// `this`
+    This,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    IntTy,
+    /// `bool`
+    BoolTy,
+    /// `str`
+    StrTy,
+
+    // Literals and identifiers
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (unescaped contents).
+    Str(String),
+    /// An identifier.
+    Ident(String),
+
+    // Punctuation
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(n) => write!(f, "{n}"),
+            Str(s) => write!(f, "{s:?}"),
+            Ident(s) => write!(f, "{s}"),
+            other => f.write_str(match other {
+                Class => "class",
+                Var => "var",
+                Lock => "lock",
+                Fn => "fn",
+                Synchronized => "synchronized",
+                While => "while",
+                If => "if",
+                Else => "else",
+                Wait => "wait",
+                Notify => "notify",
+                NotifyAll => "notifyAll",
+                Return => "return",
+                Let => "let",
+                Skip => "skip",
+                This => "this",
+                True => "true",
+                False => "false",
+                IntTy => "int",
+                BoolTy => "bool",
+                StrTy => "str",
+                LBrace => "{",
+                RBrace => "}",
+                LParen => "(",
+                RParen => ")",
+                Semi => ";",
+                Colon => ":",
+                Comma => ",",
+                Arrow => "->",
+                Assign => "=",
+                EqEq => "==",
+                NotEq => "!=",
+                Lt => "<",
+                Le => "<=",
+                Gt => ">",
+                Ge => ">=",
+                Plus => "+",
+                Minus => "-",
+                Star => "*",
+                Slash => "/",
+                Percent => "%",
+                AndAnd => "&&",
+                OrOr => "||",
+                Bang => "!",
+                Eof => "<eof>",
+                Int(_) | Str(_) | Ident(_) => unreachable!(),
+            }),
+        }
+    }
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`, including a trailing [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        let mut push = |kind: TokenKind| {
+            tokens.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            })
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push(TokenKind::LBrace);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push(TokenKind::RBrace);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push(TokenKind::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(TokenKind::RParen);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(TokenKind::Semi);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push(TokenKind::Colon);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(TokenKind::Comma);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push(TokenKind::Plus);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push(TokenKind::Star);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push(TokenKind::Slash);
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                push(TokenKind::Percent);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push(TokenKind::Arrow);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Minus);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::EqEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Assign);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::NotEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Bang);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::Le);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Lt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::Ge);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Gt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push(TokenKind::AndAnd);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("expected `&&`");
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push(TokenKind::OrOr);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("expected `||`");
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut ccol = col + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => err!("unterminated string literal"),
+                        Some(&b'"') => break,
+                        Some(&b'\\') => match bytes.get(j + 1) {
+                            Some(&b'n') => {
+                                s.push('\n');
+                                j += 2;
+                                ccol += 2;
+                            }
+                            Some(&b'"') => {
+                                s.push('"');
+                                j += 2;
+                                ccol += 2;
+                            }
+                            Some(&b'\\') => {
+                                s.push('\\');
+                                j += 2;
+                                ccol += 2;
+                            }
+                            _ => err!("unknown escape sequence"),
+                        },
+                        Some(&b'\n') => err!("newline in string literal"),
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                            ccol += 1;
+                        }
+                    }
+                }
+                push(TokenKind::Str(s));
+                i = j + 1;
+                col = ccol + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[start..i];
+                match text.parse::<i64>() {
+                    Ok(n) => push(TokenKind::Int(n)),
+                    Err(_) => err!("integer literal out of range: {text}"),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &src[start..i];
+                push(match word {
+                    "class" => TokenKind::Class,
+                    "var" => TokenKind::Var,
+                    "lock" => TokenKind::Lock,
+                    "fn" => TokenKind::Fn,
+                    "synchronized" => TokenKind::Synchronized,
+                    "while" => TokenKind::While,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "wait" => TokenKind::Wait,
+                    "notify" => TokenKind::Notify,
+                    "notifyAll" => TokenKind::NotifyAll,
+                    "return" => TokenKind::Return,
+                    "let" => TokenKind::Let,
+                    "skip" => TokenKind::Skip,
+                    "this" => TokenKind::This,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "int" => TokenKind::IntTy,
+                    "bool" => TokenKind::BoolTy,
+                    "str" => TokenKind::StrTy,
+                    _ => TokenKind::Ident(word.to_string()),
+                });
+            }
+            other => err!("unexpected character `{other}`"),
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("class Foo synchronized fn"),
+            vec![
+                TokenKind::Class,
+                TokenKind::Ident("Foo".into()),
+                TokenKind::Synchronized,
+                TokenKind::Fn,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != <= >= && || -> = < > ! + - * / %"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Bang,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello" "a\nb" "q\"q" "back\\slash""#),
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Str("q\"q".into()),
+                TokenKind::Str("back\\slash".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x // comment to end of line\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn stray_ampersand_is_error() {
+        let e = lex("a & b").unwrap_err();
+        assert!(e.message.contains("&&"));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 123456789"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(123456789),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn newline_in_string_is_error() {
+        assert!(lex("\"a\nb\"").is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Pretty-printer for the Monitor IR. Output re-parses to the same AST
+//! (`parse(print(c)) == c`), which the property tests rely on.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Block, Component, Expr, LValue, LockRef, Method, Stmt, UnOp};
+
+/// Render a component in the DSL's surface syntax.
+pub fn print_component(c: &Component) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "class {} {{", c.name);
+    for lock in &c.locks {
+        let _ = writeln!(out, "  lock {lock};");
+    }
+    for field in &c.fields {
+        let _ = writeln!(
+            out,
+            "  var {}: {} = {};",
+            field.name,
+            field.ty,
+            print_expr(&field.init)
+        );
+    }
+    for method in &c.methods {
+        out.push_str(&print_method(method, 1));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a single method at the given indent level.
+pub fn print_method(m: &Method, indent: usize) -> String {
+    let mut out = String::new();
+    let pad = "  ".repeat(indent);
+    let sync = if m.synchronized { "synchronized " } else { "" };
+    let params = m
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = match m.ret {
+        Some(t) => format!(" -> {t}"),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "{pad}{sync}fn {}({params}){ret} {{", m.name);
+    out.push_str(&print_block(&m.body, indent + 1));
+    let _ = writeln!(out, "{pad}}}");
+    out
+}
+
+/// Render a block's statements at the given indent level.
+pub fn print_block(block: &Block, indent: usize) -> String {
+    let mut out = String::new();
+    for stmt in block {
+        out.push_str(&print_stmt(stmt, indent));
+    }
+    out
+}
+
+fn lock_suffix(lock: &LockRef) -> String {
+    match lock {
+        LockRef::This => String::new(),
+        LockRef::Named(n) => format!("({n})"),
+    }
+}
+
+/// Render one statement at the given indent level.
+pub fn print_stmt(stmt: &Stmt, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    match stmt {
+        Stmt::While { cond, body } => {
+            let mut out = format!("{pad}while ({}) {{\n", print_expr(cond));
+            out.push_str(&print_block(body, indent + 1));
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut out = format!("{pad}if ({}) {{\n", print_expr(cond));
+            out.push_str(&print_block(then_branch, indent + 1));
+            if else_branch.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                out.push_str(&print_block(else_branch, indent + 1));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            out
+        }
+        Stmt::Wait { lock } => format!("{pad}wait{};\n", lock_suffix(lock)),
+        Stmt::Notify { lock } => format!("{pad}notify{};\n", lock_suffix(lock)),
+        Stmt::NotifyAll { lock } => format!("{pad}notifyAll{};\n", lock_suffix(lock)),
+        Stmt::Assign { target, value } => {
+            let name = match target {
+                LValue::Field(n) | LValue::Local(n) => n,
+            };
+            format!("{pad}{name} = {};\n", print_expr(value))
+        }
+        Stmt::Local { name, ty, init } => {
+            format!("{pad}let {name}: {ty} = {};\n", print_expr(init))
+        }
+        Stmt::Return(None) => format!("{pad}return;\n"),
+        Stmt::Return(Some(e)) => format!("{pad}return {};\n", print_expr(e)),
+        Stmt::Synchronized { lock, body } => {
+            let name = match lock {
+                LockRef::This => "this".to_string(),
+                LockRef::Named(n) => n.clone(),
+            };
+            let mut out = format!("{pad}synchronized ({name}) {{\n");
+            out.push_str(&print_block(body, indent + 1));
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+        Stmt::Skip => format!("{pad}skip;\n"),
+    }
+}
+
+/// Render an expression with minimal necessary parentheses (every binary
+/// sub-expression is parenthesized for simplicity and re-parse fidelity).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(n) => {
+            if *n < 0 {
+                // Negative literals print as unary negation to stay in the
+                // grammar (the lexer has no negative literals).
+                format!("(-{})", n.unsigned_abs())
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Bool(b) => b.to_string(),
+        Expr::Str(s) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        ),
+        Expr::Var(n) | Expr::Field(n) => n.clone(),
+        Expr::Unary(op, e) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", atom(e))
+        }
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", print_expr(a), op_symbol(*op), print_expr(b))
+        }
+        Expr::Call(builtin, args) => {
+            let rendered = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("{}({rendered})", builtin.name())
+        }
+    }
+}
+
+fn atom(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) => print_expr(e), // already parenthesized
+        Expr::Unary(..) => format!("({})", print_expr(e)),
+        _ => print_expr(e),
+    }
+}
+
+fn op_symbol(op: BinOp) -> &'static str {
+    op.symbol()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_component;
+
+    #[test]
+    fn roundtrip_producer_consumer() {
+        let src = r#"
+            class ProducerConsumer {
+              var contents: str = "";
+              var totalLength: int = 0;
+              var curPos: int = 0;
+              synchronized fn receive() -> str {
+                while (curPos == 0) { wait; }
+                let y: str = charAt(contents, totalLength - curPos);
+                curPos = curPos - 1;
+                notifyAll;
+                return y;
+              }
+              synchronized fn send(x: str) {
+                while (curPos > 0) { wait; }
+                contents = x;
+                totalLength = len(x);
+                curPos = totalLength;
+                notifyAll;
+              }
+            }
+        "#;
+        let c1 = parse_component(src).unwrap();
+        let printed = print_component(&c1);
+        let c2 = parse_component(&printed).unwrap();
+        assert_eq!(c1, c2, "pretty-printed source did not re-parse equal");
+    }
+
+    #[test]
+    fn roundtrip_nested_control_flow() {
+        let src = r#"
+            class Nest {
+              lock aux;
+              var n: int = 0;
+              synchronized fn m(k: int) -> int {
+                if (k > 0) {
+                  while (n < k) {
+                    n = n + 1;
+                    if (n % 2 == 0) { notify; } else { skip; }
+                  }
+                } else {
+                  synchronized (aux) { wait(aux); }
+                }
+                return n;
+              }
+            }
+        "#;
+        let c1 = parse_component(src).unwrap();
+        let c2 = parse_component(&print_component(&c1)).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let src = r#"class S { var s: str = "a\nb\"c\\d"; }"#;
+        let c1 = parse_component(src).unwrap();
+        let c2 = parse_component(&print_component(&c1)).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn negative_literal_prints_parseably() {
+        let e = Expr::Int(-5);
+        let printed = print_expr(&e);
+        assert_eq!(printed, "(-5)");
+        // Embedded in a component it must re-parse (as unary neg of 5).
+        let src = format!("class N {{ fn m() -> int {{ return {printed}; }} }}");
+        assert!(parse_component(&src).is_ok());
+    }
+
+    #[test]
+    fn unary_chains_print_unambiguously() {
+        let e = Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::Unary(UnOp::Not, Box::new(Expr::Bool(true)))),
+        );
+        let src = format!("class N {{ fn m() -> bool {{ return {}; }} }}", print_expr(&e));
+        let c = parse_component(&src).unwrap();
+        let c2 = parse_component(&print_component(&c)).unwrap();
+        assert_eq!(c, c2);
+    }
+}

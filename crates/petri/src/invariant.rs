@@ -1,0 +1,338 @@
+//! Place invariants (P-semiflows): verification and discovery.
+//!
+//! A weight vector `w` over places is a P-invariant when every transition
+//! conserves the weighted token sum, i.e. `wᵀ · C = 0` for the incidence
+//! matrix `C`. P-invariants give the safety arguments the paper's model
+//! relies on: mutual exclusion (`E + Σ Cᵢ = 1`) and per-thread state
+//! conservation (`Aᵢ + Bᵢ + Cᵢ + Dᵢ = 1`).
+
+use crate::net::{Marking, Net};
+
+/// True if `weights` is a P-invariant of `net`: every transition's firing
+/// leaves the weighted token sum unchanged.
+pub fn is_invariant(net: &Net, weights: &[i64]) -> bool {
+    assert_eq!(
+        weights.len(),
+        net.num_places(),
+        "weight vector length must equal the number of places"
+    );
+    net.transitions().all(|t| {
+        net.incidence_column(t)
+            .iter()
+            .zip(weights)
+            .map(|(&c, &w)| c * w)
+            .sum::<i64>()
+            == 0
+    })
+}
+
+/// The weighted token sum of `marking` under `weights`.
+pub fn weighted_sum(marking: &Marking, weights: &[i64]) -> i64 {
+    marking
+        .0
+        .iter()
+        .zip(weights)
+        .map(|(&t, &w)| i64::from(t) * w)
+        .sum()
+}
+
+/// Compute an integer basis of the P-invariant space (the null space of the
+/// transposed incidence matrix) by fraction-free Gaussian elimination.
+///
+/// Each returned vector is a P-invariant with coprime integer entries; every
+/// P-invariant of the net is a rational combination of them. Suitable for the
+/// small nets this workspace builds (places × transitions in the hundreds).
+pub fn invariant_basis(net: &Net) -> Vec<Vec<i64>> {
+    let rows: Vec<Vec<i64>> = net
+        .transitions()
+        .map(|t| net.incidence_column(t))
+        .collect();
+    null_space(rows, net.num_places())
+}
+
+/// True if `counts` (a firing-count vector indexed by transition) is a
+/// T-invariant: firing each transition that many times returns the net to
+/// the marking it started from, i.e. `C · counts = 0`.
+pub fn is_t_invariant(net: &Net, counts: &[i64]) -> bool {
+    assert_eq!(
+        counts.len(),
+        net.num_transitions(),
+        "count vector length must equal the number of transitions"
+    );
+    net.places().all(|p| {
+        net.transitions()
+            .map(|t| net.incidence_column(t)[p.index()] * counts[t.index()])
+            .sum::<i64>()
+            == 0
+    })
+}
+
+/// Compute an integer basis of the T-invariant space (the null space of the
+/// incidence matrix): the cyclic firing behaviours of the net. For the
+/// Figure-1 model these are exactly the two life cycles of a thread —
+/// enter/leave (T1,T2,T4) and enter/wait/wake/leave (T1,T2,T3,T5,... with
+/// the reacquisition T2 counted twice).
+pub fn t_invariant_basis(net: &Net) -> Vec<Vec<i64>> {
+    let n_trans = net.num_transitions();
+    // rows: places (constraints), cols: transitions (unknown counts).
+    let rows: Vec<Vec<i64>> = net
+        .places()
+        .map(|p| {
+            net.transitions()
+                .map(|t| net.incidence_column(t)[p.index()])
+                .collect()
+        })
+        .collect();
+    null_space(rows, n_trans)
+}
+
+/// Integer null-space basis of `rows` (each of width `n_cols`) by
+/// fraction-free Gaussian elimination.
+fn null_space(mut rows: Vec<Vec<i64>>, n_cols: usize) -> Vec<Vec<i64>> {
+    let n_places = n_cols;
+    let n_trans = rows.len();
+
+    // Fraction-free (Bareiss-style simplified) row reduction.
+    let mut pivot_col_of_row: Vec<usize> = Vec::new();
+    let mut rank = 0usize;
+    for col in 0..n_places {
+        // Find a pivot row at or below `rank` with a nonzero entry in `col`.
+        let Some(pivot) = (rank..n_trans).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        let pivot_val = rows[rank][col];
+        for r in 0..n_trans {
+            if r != rank && rows[r][col] != 0 {
+                let factor = rows[r][col];
+                for c in 0..n_places {
+                    rows[r][c] = rows[r][c] * pivot_val - rows[rank][c] * factor;
+                }
+                normalize_row(&mut rows[r]);
+            }
+        }
+        pivot_col_of_row.push(col);
+        rank += 1;
+        if rank == n_trans {
+            break;
+        }
+    }
+
+    let pivot_cols: Vec<usize> = pivot_col_of_row.clone();
+    let free_cols: Vec<usize> = (0..n_places).filter(|c| !pivot_cols.contains(c)).collect();
+
+    // Back-substitute one basis vector per free column.
+    let mut basis = Vec::with_capacity(free_cols.len());
+    for &free in &free_cols {
+        // Solve over rationals: set w[free] = 1, all other free vars = 0,
+        // then each pivot row gives w[pivot_col] = -row[free] / row[pivot_col].
+        // To stay in integers, scale by the lcm of the pivot entries involved.
+        let mut num = vec![0i64; n_places];
+        let mut den = vec![1i64; n_places];
+        num[free] = 1;
+        for (r, &pc) in pivot_col_of_row.iter().enumerate() {
+            let coeff = rows[r][free];
+            if coeff != 0 {
+                num[pc] = -coeff;
+                den[pc] = rows[r][pc];
+            }
+        }
+        // Common denominator.
+        let mut scale = 1i64;
+        for &d in &den {
+            scale = lcm(scale, d.abs().max(1));
+        }
+        let mut vec_int: Vec<i64> = (0..n_places).map(|c| num[c] * (scale / den[c])).collect();
+        normalize_row(&mut vec_int);
+        // Prefer mostly-positive orientation for readability.
+        if vec_int.iter().sum::<i64>() < 0 {
+            for v in &mut vec_int {
+                *v = -*v;
+            }
+        }
+        basis.push(vec_int);
+    }
+    basis
+}
+
+/// Divide a row by the gcd of its entries (no-op for the zero row).
+fn normalize_row(row: &mut [i64]) {
+    let g = row.iter().fold(0i64, |acc, &x| gcd(acc, x.abs()));
+    if g > 1 {
+        for x in row.iter_mut() {
+            *x /= g;
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a.abs(), b.abs()) * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::java_model::{JavaNet, ThreadPlace};
+    use crate::net::NetBuilder;
+
+    #[test]
+    fn java_model_invariants_verify() {
+        for threads in 1..=4 {
+            let j = JavaNet::new(threads);
+            assert!(is_invariant(j.net(), &j.mutex_invariant()));
+            for th in 0..threads {
+                assert!(is_invariant(j.net(), &j.thread_invariant(th)));
+            }
+        }
+    }
+
+    #[test]
+    fn non_invariant_rejected() {
+        let j = JavaNet::new(1);
+        // Weight only the waiting place: T3/T5 change the sum.
+        let mut w = vec![0i64; j.net().num_places()];
+        w[j.place(0, ThreadPlace::Waiting).index()] = 1;
+        assert!(!is_invariant(j.net(), &w));
+    }
+
+    #[test]
+    fn basis_spans_known_invariants_single_thread() {
+        let j = JavaNet::new(1);
+        let basis = invariant_basis(j.net());
+        // 5 places, incidence rank 3 → 2 independent invariants:
+        // mutex (C + E) and thread conservation (A+B+C+D).
+        assert_eq!(basis.len(), 2);
+        for b in &basis {
+            assert!(is_invariant(j.net(), b));
+        }
+    }
+
+    #[test]
+    fn basis_size_grows_with_threads() {
+        // N threads: N conservation invariants + 1 mutex invariant.
+        for threads in 1..=3 {
+            let j = JavaNet::new(threads);
+            let basis = invariant_basis(j.net());
+            assert_eq!(basis.len(), threads + 1, "threads={threads}");
+            for b in &basis {
+                assert!(is_invariant(j.net(), b));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_constant_along_run() {
+        let j = JavaNet::new(2);
+        let net = j.net();
+        let basis = invariant_basis(net);
+        let m0 = net.initial_marking();
+        let sums0: Vec<i64> = basis.iter().map(|b| weighted_sum(&m0, b)).collect();
+        // Fire an arbitrary enabled sequence and re-check.
+        let mut m = m0;
+        for _ in 0..20 {
+            let enabled = net.enabled_transitions(&m);
+            let Some(&t) = enabled.first() else { break };
+            m = net.fire(&m, t).unwrap();
+            let sums: Vec<i64> = basis.iter().map(|b| weighted_sum(&m, b)).collect();
+            assert_eq!(sums, sums0);
+        }
+    }
+
+    #[test]
+    fn pure_cycle_net_invariant() {
+        let mut b = NetBuilder::new();
+        let p1 = b.place("p1", 1);
+        let p2 = b.place("p2", 0);
+        let p3 = b.place("p3", 0);
+        b.transition("t12", &[p1], &[p2]);
+        b.transition("t23", &[p2], &[p3]);
+        b.transition("t31", &[p3], &[p1]);
+        let net = b.build().unwrap();
+        let basis = invariant_basis(&net);
+        assert_eq!(basis.len(), 1);
+        assert_eq!(basis[0], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn net_with_no_invariant() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 0);
+        let q = b.place("q", 0);
+        // Source transitions break conservation in all directions.
+        b.transition("mk_p", &[], &[p]);
+        b.transition("mk_q", &[], &[q]);
+        let net = b.build().unwrap();
+        assert!(invariant_basis(&net).is_empty());
+    }
+
+    #[test]
+    fn weighted_transition_invariant() {
+        // 2 tokens of p convert to 1 of q and back: invariant p + 2q.
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 4);
+        let q = b.place("q", 0);
+        b.weighted_transition("fwd", &[(p, 2)], &[(q, 1)]);
+        b.weighted_transition("rev", &[(q, 1)], &[(p, 2)]);
+        let net = b.build().unwrap();
+        let basis = invariant_basis(&net);
+        assert_eq!(basis.len(), 1);
+        assert_eq!(basis[0], vec![1, 2]);
+        assert!(is_invariant(&net, &[1, 2]));
+        assert!(!is_invariant(&net, &[1, 1]));
+    }
+
+    #[test]
+    fn t_invariants_of_figure_1_are_the_thread_life_cycles() {
+        use crate::transition::Transition as T;
+        let j = JavaNet::new(1);
+        let basis = t_invariant_basis(j.net());
+        assert_eq!(basis.len(), 2, "{basis:?}");
+        for b in &basis {
+            assert!(is_t_invariant(j.net(), b));
+        }
+        // The two cycles: plain visit T1,T2,T4 and wait-cycle
+        // T3 + T5 + an extra T2 (re-acquisition).
+        let idx = |t: T| j.transition(0, t).index();
+        let plain = basis
+            .iter()
+            .find(|b| b[idx(T::T3)] == 0)
+            .expect("plain visit cycle");
+        assert_eq!(plain[idx(T::T1)], plain[idx(T::T2)]);
+        assert_eq!(plain[idx(T::T1)], plain[idx(T::T4)]);
+        let waity = basis
+            .iter()
+            .find(|b| b[idx(T::T3)] != 0)
+            .expect("wait cycle");
+        assert_eq!(waity[idx(T::T3)], waity[idx(T::T5)]);
+    }
+
+    #[test]
+    fn t_invariant_rejects_non_cycle() {
+        let j = JavaNet::new(1);
+        // Firing T1 once alone does not restore the marking.
+        let mut counts = vec![0i64; 5];
+        counts[0] = 1;
+        assert!(!is_t_invariant(j.net(), &counts));
+    }
+
+    #[test]
+    fn source_sink_net_has_no_t_invariants() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 0);
+        b.transition("src", &[], &[p]);
+        let net = b.build().unwrap();
+        assert!(t_invariant_basis(&net).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # jcc-petri — Petri-net engine and the Figure-1 model of Java concurrency
+//!
+//! This crate provides the substrate for the Long & Strooper (IPPS 2003)
+//! reproduction:
+//!
+//! * a general place/transition [`Net`] with firing semantics,
+//! * reachability analysis ([`reach`]) with deadlock and boundedness checks,
+//! * place-invariant (P-semiflow) verification and discovery ([`invariant`]),
+//! * DOT export ([`dot`]),
+//! * the paper's Figure-1 net — a single thread interacting with an object
+//!   lock — and its N-thread composition ([`java_model`]),
+//! * the shared vocabulary of the classification: [`Transition`] (T1–T5),
+//!   [`Deviation`] (failure-to-fire / erroneous-firing) and the ten
+//!   [`FailureClass`] values of Table 1 ([`transition`]).
+//!
+//! The petri net is *descriptive*: the paper uses it to model the possible
+//! states of a thread at any point in time, and every other crate in this
+//! workspace speaks in terms of the transitions it defines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod invariant;
+pub mod java_model;
+pub mod net;
+pub mod reach;
+pub mod transition;
+
+pub use java_model::{JavaNet, ThreadPlace};
+pub use net::{Marking, Net, NetBuilder, NetError, PlaceId, TransId};
+pub use reach::{ReachGraph, ReachLimits, ReachStats};
+pub use transition::{Deviation, FailureClass, Transition, ALL_FAILURE_CLASSES};

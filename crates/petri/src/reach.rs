@@ -1,0 +1,346 @@
+//! Reachability analysis: exhaustive state-space exploration with
+//! configurable limits, deadlock detection and boundedness statistics.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::net::{Marking, Net, TransId};
+
+/// Limits on state-space exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachLimits {
+    /// Maximum number of distinct markings to discover.
+    pub max_states: usize,
+    /// Maximum token count allowed on any single place; exceeding it aborts
+    /// exploration and flags the net as (probably) unbounded.
+    pub max_tokens_per_place: u32,
+}
+
+impl Default for ReachLimits {
+    fn default() -> Self {
+        ReachLimits {
+            max_states: 1_000_000,
+            max_tokens_per_place: 64,
+        }
+    }
+}
+
+/// Why exploration stopped before exhausting the state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// The state limit was reached.
+    StateLimit,
+    /// A place exceeded the per-place token bound.
+    TokenBound {
+        /// Index of the offending place.
+        place_index: usize,
+    },
+}
+
+/// Summary statistics of an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachStats {
+    /// Distinct markings discovered.
+    pub states: usize,
+    /// Directed edges (marking, transition, marking') discovered.
+    pub edges: usize,
+    /// Number of dead markings (no transition enabled).
+    pub deadlocks: usize,
+    /// Largest token count seen on any place.
+    pub max_tokens_seen: u32,
+    /// Whether and why exploration was truncated.
+    pub truncated: Option<Truncation>,
+}
+
+/// An explicit reachability graph: the set of reachable markings and the
+/// labelled edges between them.
+#[derive(Debug, Clone)]
+pub struct ReachGraph {
+    markings: Vec<Marking>,
+    index: HashMap<Marking, usize>,
+    /// edges[state] = (transition fired, successor state)
+    edges: Vec<Vec<(TransId, usize)>>,
+    stats: ReachStats,
+}
+
+impl ReachGraph {
+    /// Explore the full state space of `net` from its initial marking.
+    pub fn explore(net: &Net, limits: ReachLimits) -> ReachGraph {
+        Self::explore_filtered(net, limits, |_, _| true)
+    }
+
+    /// Explore, but only follow firings for which `filter` returns true.
+    /// Used to impose side conditions the plain net cannot express (e.g. the
+    /// dashed notification arc of Figure 1).
+    pub fn explore_filtered(
+        net: &Net,
+        limits: ReachLimits,
+        filter: impl Fn(&Marking, TransId) -> bool,
+    ) -> ReachGraph {
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
+        let mut queue = VecDeque::new();
+        let mut truncated = None;
+        let mut max_tokens_seen = 0;
+
+        let m0 = net.initial_marking();
+        max_tokens_seen = max_tokens_seen.max(m0.0.iter().copied().max().unwrap_or(0));
+        index.insert(m0.clone(), 0);
+        markings.push(m0);
+        edges.push(Vec::new());
+        queue.push_back(0usize);
+
+        'outer: while let Some(cur) = queue.pop_front() {
+            let marking = markings[cur].clone();
+            for t in net.transitions() {
+                if !net.enabled(&marking, t) || !filter(&marking, t) {
+                    continue;
+                }
+                let next = net.fire(&marking, t).expect("enabled");
+                let peak = next.0.iter().copied().max().unwrap_or(0);
+                if peak > limits.max_tokens_per_place {
+                    let place_index = next
+                        .0
+                        .iter()
+                        .position(|&x| x > limits.max_tokens_per_place)
+                        .unwrap_or(0);
+                    truncated = Some(Truncation::TokenBound { place_index });
+                    break 'outer;
+                }
+                max_tokens_seen = max_tokens_seen.max(peak);
+                let next_id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if markings.len() >= limits.max_states {
+                            truncated = Some(Truncation::StateLimit);
+                            break 'outer;
+                        }
+                        let id = markings.len();
+                        index.insert(next.clone(), id);
+                        markings.push(next);
+                        edges.push(Vec::new());
+                        queue.push_back(id);
+                        id
+                    }
+                };
+                edges[cur].push((t, next_id));
+            }
+        }
+
+        let deadlocks = markings
+            .iter()
+            .filter(|m| net.is_deadlocked(m))
+            .count();
+        let edge_count = edges.iter().map(Vec::len).sum();
+        let stats = ReachStats {
+            states: markings.len(),
+            edges: edge_count,
+            deadlocks,
+            max_tokens_seen,
+            truncated,
+        };
+        ReachGraph {
+            markings,
+            index,
+            edges,
+            stats,
+        }
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> &ReachStats {
+        &self.stats
+    }
+
+    /// All discovered markings. Index 0 is the initial marking.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// Outgoing edges of state `i` as (transition, successor-state) pairs.
+    pub fn successors(&self, i: usize) -> &[(TransId, usize)] {
+        &self.edges[i]
+    }
+
+    /// Look up a marking's state index.
+    pub fn state_of(&self, m: &Marking) -> Option<usize> {
+        self.index.get(m).copied()
+    }
+
+    /// Indices of dead markings (no outgoing edges *and* no enabled
+    /// transition in the unfiltered net would be stricter; here we report
+    /// states with no explored successor).
+    pub fn dead_states(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A shortest firing sequence from the initial marking to state
+    /// `target`, as a list of transitions. `None` if unreachable (cannot
+    /// happen for indices returned by this graph) .
+    pub fn path_to(&self, target: usize) -> Option<Vec<TransId>> {
+        if target == 0 {
+            return Some(Vec::new());
+        }
+        let mut pred: Vec<Option<(usize, TransId)>> = vec![None; self.markings.len()];
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+        let mut seen = vec![false; self.markings.len()];
+        seen[0] = true;
+        while let Some(cur) = queue.pop_front() {
+            for &(t, next) in &self.edges[cur] {
+                if !seen[next] {
+                    seen[next] = true;
+                    pred[next] = Some((cur, t));
+                    if next == target {
+                        let mut path = Vec::new();
+                        let mut at = target;
+                        while let Some((p, tr)) = pred[at] {
+                            path.push(tr);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if every discovered marking keeps each place's token count
+    /// within `bound` (k-boundedness over the explored portion).
+    pub fn is_k_bounded(&self, bound: u32) -> bool {
+        self.stats.truncated.is_none() && self.stats.max_tokens_seen <= bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::java_model::JavaNet;
+    use crate::net::NetBuilder;
+
+    #[test]
+    fn single_thread_java_net_has_five_states() {
+        // One thread: A+E, B+E, C, D+E, B+E(after T5 — same as request) …
+        // distinct markings: {A,E}, {B,E}, {C}, {D,E}. T5 leads back to {B,E}.
+        let j = JavaNet::new(1);
+        let g = ReachGraph::explore(j.net(), ReachLimits::default());
+        assert_eq!(g.stats().states, 4);
+        assert_eq!(g.stats().deadlocks, 0);
+        assert!(g.stats().truncated.is_none());
+        assert!(g.is_k_bounded(1));
+    }
+
+    #[test]
+    fn two_thread_java_net_is_safe_and_live() {
+        let j = JavaNet::new(2);
+        let g = ReachGraph::explore(j.net(), ReachLimits::default());
+        // Net is 1-bounded and deadlock-free without the side condition
+        // (T5 always structurally enabled from D).
+        assert!(g.is_k_bounded(1));
+        assert_eq!(g.stats().deadlocks, 0);
+        // Mutual exclusion: no marking has both C places marked.
+        for m in g.markings() {
+            let c0 = m.tokens(j.place(0, crate::java_model::ThreadPlace::Critical));
+            let c1 = m.tokens(j.place(1, crate::java_model::ThreadPlace::Critical));
+            assert!(c0 + c1 <= 1, "mutual exclusion violated in {m:?}");
+        }
+    }
+
+    #[test]
+    fn side_condition_exposes_wait_forever_deadlock() {
+        // With the dashed-arc side condition a single thread that waits can
+        // never be woken: the filtered graph has a dead state.
+        let j = JavaNet::new(1);
+        let g = ReachGraph::explore_filtered(
+            j.net(),
+            ReachLimits::default(),
+            j.notify_side_condition(),
+        );
+        let dead = g.dead_states();
+        assert_eq!(dead.len(), 1);
+        let dead_marking = &g.markings()[dead[0]];
+        assert!(j.all_threads_stuck(dead_marking));
+        // And there is a firing path to it (T1, T2, T3).
+        let path = g.path_to(dead[0]).unwrap();
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn two_threads_with_side_condition_can_both_wait() {
+        let j = JavaNet::new(2);
+        let g = ReachGraph::explore_filtered(
+            j.net(),
+            ReachLimits::default(),
+            j.notify_side_condition(),
+        );
+        // The all-waiting marking is reachable (both threads wait in turn)
+        // and dead under the side condition — the classic lost-wakeup
+        // deadlock shape.
+        let stuck: Vec<_> = g
+            .dead_states()
+            .into_iter()
+            .filter(|&s| j.all_threads_stuck(&g.markings()[s]))
+            .collect();
+        assert_eq!(stuck.len(), 1);
+    }
+
+    #[test]
+    fn unbounded_net_truncates_on_token_bound() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        // p -> p + q: q grows without bound.
+        b.transition("grow", &[p], &[p, q]);
+        let net = b.build().unwrap();
+        let g = ReachGraph::explore(
+            &net,
+            ReachLimits {
+                max_states: 1000,
+                max_tokens_per_place: 16,
+            },
+        );
+        assert!(matches!(
+            g.stats().truncated,
+            Some(Truncation::TokenBound { .. })
+        ));
+        assert!(!g.is_k_bounded(16));
+    }
+
+    #[test]
+    fn state_limit_truncates() {
+        let j = JavaNet::new(3);
+        let g = ReachGraph::explore(
+            j.net(),
+            ReachLimits {
+                max_states: 5,
+                max_tokens_per_place: 64,
+            },
+        );
+        assert_eq!(g.stats().truncated, Some(Truncation::StateLimit));
+        assert!(g.stats().states <= 5);
+    }
+
+    #[test]
+    fn path_to_initial_is_empty() {
+        let j = JavaNet::new(1);
+        let g = ReachGraph::explore(j.net(), ReachLimits::default());
+        assert_eq!(g.path_to(0), Some(vec![]));
+    }
+
+    #[test]
+    fn state_lookup_roundtrip() {
+        let j = JavaNet::new(1);
+        let g = ReachGraph::explore(j.net(), ReachLimits::default());
+        for (i, m) in g.markings().iter().enumerate() {
+            assert_eq!(g.state_of(m), Some(i));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The shared event log: every monitor operation, data access and coverage
+//! marker, in one global order (per log).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use jcc_petri::Transition;
+
+/// Identifies a monitor instance within one [`EventLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MonitorId(pub u64);
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense id for the current OS thread, stable for its lifetime.
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A Figure-1 model transition fired on a monitor.
+    Transition(Transition),
+    /// The thread issued a notification on the monitor (`all` =
+    /// `notifyAll`). The woken threads each log their own
+    /// `Transition(T5)`.
+    NotifyIssued {
+        /// Whether every waiter was woken.
+        all: bool,
+        /// How many waiters were present when the notification was issued.
+        waiters: usize,
+    },
+    /// A read of a shared variable (for lockset analysis).
+    Read {
+        /// Variable name.
+        var: String,
+    },
+    /// A write of a shared variable (for lockset analysis).
+    Write {
+        /// Variable name.
+        var: String,
+    },
+    /// Coverage marker: a component method was entered.
+    MethodStart {
+        /// Method name.
+        method: String,
+    },
+    /// Coverage marker: a component method returned.
+    MethodEnd {
+        /// Method name.
+        method: String,
+    },
+    /// Coverage marker: a concurrency statement at `path` was executed.
+    Marker {
+        /// Method name.
+        method: String,
+        /// Statement path in `jcc-model` convention.
+        path: Vec<usize>,
+    },
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number within the log (0-based, gap-free).
+    pub seq: u64,
+    /// The logging thread (see [`current_thread_id`]).
+    pub thread: u64,
+    /// The monitor involved, if any ([`MonitorId(0)`](MonitorId) is used for
+    /// monitor-less events such as markers and unsynchronized accesses).
+    pub monitor: MonitorId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    events: Vec<Event>,
+    monitor_names: Vec<String>,
+}
+
+/// A shared, append-only event log. Cheap to clone (shared handle).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    inner: Arc<Mutex<LogInner>>,
+}
+
+impl EventLog {
+    /// A fresh empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a monitor name, returning its id. Id 0 is reserved for
+    /// "no monitor", so the first registration returns `MonitorId(1)`.
+    pub fn register_monitor(&self, name: impl Into<String>) -> MonitorId {
+        let mut inner = self.inner.lock();
+        inner.monitor_names.push(name.into());
+        MonitorId(inner.monitor_names.len() as u64)
+    }
+
+    /// The registered name of a monitor (`"<none>"` for id 0).
+    pub fn monitor_name(&self, id: MonitorId) -> String {
+        if id.0 == 0 {
+            return "<none>".to_string();
+        }
+        self.inner.lock().monitor_names[(id.0 - 1) as usize].clone()
+    }
+
+    /// Append an event from the current thread.
+    pub fn log(&self, monitor: MonitorId, kind: EventKind) {
+        let thread = current_thread_id();
+        self.log_as(thread, monitor, kind);
+    }
+
+    /// Append an event attributed to an explicit thread id (used by the VM,
+    /// whose logical threads are not OS threads).
+    pub fn log_as(&self, thread: u64, monitor: MonitorId, kind: EventKind) {
+        let mut inner = self.inner.lock();
+        let seq = inner.events.len() as u64;
+        inner.events.push(Event {
+            seq,
+            thread,
+            monitor,
+            kind,
+        });
+    }
+
+    /// Convenience: log a transition.
+    pub fn transition(&self, monitor: MonitorId, t: Transition) {
+        self.log(monitor, EventKind::Transition(t));
+    }
+
+    /// Snapshot of all events so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Number of events logged.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove all events (monitor registrations are kept).
+    pub fn clear(&self) {
+        self.inner.lock().events.clear();
+    }
+
+    /// Count transition events of a given kind.
+    pub fn count_transition(&self, t: Transition) -> usize {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Transition(t))
+            .count()
+    }
+
+    /// All distinct thread ids appearing in the log, in first-seen order.
+    pub fn threads(&self) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut seen = Vec::new();
+        for e in &inner.events {
+            if !seen.contains(&e.thread) {
+                seen.push(e.thread);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_petri::Transition as T;
+
+    #[test]
+    fn sequence_numbers_are_gap_free() {
+        let log = EventLog::new();
+        let m = log.register_monitor("m");
+        for _ in 0..5 {
+            log.transition(m, T::T1);
+        }
+        let events = log.snapshot();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn monitor_names_registered() {
+        let log = EventLog::new();
+        let a = log.register_monitor("alpha");
+        let b = log.register_monitor("beta");
+        assert_eq!(log.monitor_name(a), "alpha");
+        assert_eq!(log.monitor_name(b), "beta");
+        assert_eq!(log.monitor_name(MonitorId(0)), "<none>");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_ids_distinct_across_threads() {
+        let log = EventLog::new();
+        let m = log.register_monitor("m");
+        let l2 = log.clone();
+        let h = std::thread::spawn(move || {
+            l2.transition(m, T::T1);
+        });
+        h.join().unwrap();
+        log.transition(m, T::T1);
+        let threads = log.threads();
+        assert_eq!(threads.len(), 2);
+        assert_ne!(threads[0], threads[1]);
+    }
+
+    #[test]
+    fn count_and_clear() {
+        let log = EventLog::new();
+        let m = log.register_monitor("m");
+        log.transition(m, T::T1);
+        log.transition(m, T::T2);
+        log.transition(m, T::T1);
+        assert_eq!(log.count_transition(T::T1), 2);
+        assert_eq!(log.count_transition(T::T4), 0);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.monitor_name(m), "m");
+    }
+
+    #[test]
+    fn log_as_attributes_thread() {
+        let log = EventLog::new();
+        log.log_as(42, MonitorId(0), EventKind::MethodStart { method: "m".into() });
+        assert_eq!(log.snapshot()[0].thread, 42);
+    }
+}

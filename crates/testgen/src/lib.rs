@@ -1,0 +1,30 @@
+//! # jcc-testgen — test-sequence generation for CoFG arc coverage
+//!
+//! Section 6 of the paper adapts Brinch Hansen's four-step monitor-testing
+//! recipe: identify per-operation preconditions, construct call sequences
+//! exercising each, build test processes, and compare against predicted
+//! output. The CoFG makes step 1 systematic — each arc *is* a precondition
+//! case (which loop conditions must hold) — and this crate automates steps
+//! 2 and 3:
+//!
+//! * [`scenario`] — the scenario space: call templates combined into
+//!   multi-thread test scenarios, sampled deterministically from a seed,
+//! * [`suite`] — greedy construction of an **arc-coverage suite** (each
+//!   added scenario must increase CoFG coverage, verified by exhaustive
+//!   schedule exploration) and the **undirected random baseline** the
+//!   mutation study compares against,
+//! * [`signature`] — behavioural signatures of a run (who completed, what
+//!   was returned, how it ended), the oracle for mutation detection,
+//! * [`conan`] — export of a scenario as a ConAn-style test script.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conan;
+pub mod scenario;
+pub mod signature;
+pub mod suite;
+
+pub use scenario::{sample_scenarios, Scenario, ScenarioSpace};
+pub use signature::{enumerate_signatures, run_signature, Signature};
+pub use suite::{greedy_cover_suite, random_suite, CoverageSuite};

@@ -1,0 +1,217 @@
+//! The scenario space: multi-thread call arrangements sampled from
+//! *session templates* — call sequences that represent one meaningful use
+//! of the component (a read session `startRead; endRead`, a single `put`,
+//! …). Threads concatenate one or more sessions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use jcc_vm::{CallSpec, ThreadSpec};
+
+/// One session template: the calls a thread performs for one use of the
+/// component.
+pub type CallSeq = Vec<CallSpec>;
+
+/// A test scenario: the logical threads (with their call sequences) that
+/// will exercise the component.
+pub type Scenario = Vec<ThreadSpec>;
+
+/// The space scenarios are drawn from.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpace {
+    /// The session templates threads pick from.
+    pub templates: Vec<CallSeq>,
+    /// Minimum and maximum number of threads.
+    pub threads: (usize, usize),
+    /// Minimum and maximum sessions per thread.
+    pub sessions_per_thread: (usize, usize),
+}
+
+impl ScenarioSpace {
+    /// A space over single-call session templates, 1–3 threads and 1–3
+    /// sessions each.
+    pub fn new(calls: Vec<CallSpec>) -> Self {
+        ScenarioSpace {
+            templates: calls.into_iter().map(|c| vec![c]).collect(),
+            threads: (1, 3),
+            sessions_per_thread: (1, 3),
+        }
+    }
+
+    /// A space over multi-call session templates.
+    pub fn of_sessions(templates: Vec<CallSeq>) -> Self {
+        ScenarioSpace {
+            templates,
+            threads: (1, 3),
+            sessions_per_thread: (1, 2),
+        }
+    }
+}
+
+/// Sample `count` scenarios deterministically from `seed`.
+pub fn sample_scenarios(space: &ScenarioSpace, seed: u64, count: usize) -> Vec<Scenario> {
+    assert!(
+        !space.templates.is_empty(),
+        "scenario space needs at least one session template"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| sample_one(space, &mut rng))
+        .collect()
+}
+
+fn sample_one(space: &ScenarioSpace, rng: &mut StdRng) -> Scenario {
+    let n_threads = rng.gen_range(space.threads.0..=space.threads.1);
+    (0..n_threads)
+        .map(|t| {
+            let n_sessions =
+                rng.gen_range(space.sessions_per_thread.0..=space.sessions_per_thread.1);
+            let calls = (0..n_sessions)
+                .flat_map(|_| {
+                    space.templates[rng.gen_range(0..space.templates.len())]
+                        .iter()
+                        .cloned()
+                })
+                .collect();
+            ThreadSpec {
+                name: format!("t{t}"),
+                calls,
+            }
+        })
+        .collect()
+}
+
+/// Systematically enumerate all scenarios with exactly `threads` threads of
+/// exactly one session each — the small-scope corner of the space, useful
+/// as a deterministic seed set before random sampling.
+pub fn single_session_scenarios(space: &ScenarioSpace, threads: usize) -> Vec<Scenario> {
+    let k = space.templates.len();
+    let total = k.pow(threads as u32);
+    (0..total)
+        .map(|mut idx| {
+            (0..threads)
+                .map(|t| {
+                    let choice = idx % k;
+                    idx /= k;
+                    ThreadSpec {
+                        name: format!("t{t}"),
+                        calls: space.templates[choice].clone(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A short human-readable description of a scenario, e.g.
+/// `t0: receive | t1: send("a"), send("b")`.
+pub fn describe(scenario: &Scenario) -> String {
+    scenario
+        .iter()
+        .map(|t| {
+            let calls = t
+                .calls
+                .iter()
+                .map(|c| {
+                    if c.args.is_empty() {
+                        c.method.clone()
+                    } else {
+                        let args = c
+                            .args
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!("{}({args})", c.method)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{}: {calls}", t.name)
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_vm::Value;
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace::new(vec![
+            CallSpec::new("receive", vec![]),
+            CallSpec::new("send", vec![Value::Str("a".into())]),
+        ])
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sample_scenarios(&space(), 7, 10);
+        let b = sample_scenarios(&space(), 7, 10);
+        assert_eq!(a, b);
+        let c = sample_scenarios(&space(), 8, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_scenarios_respect_bounds() {
+        let mut sp = space();
+        sp.threads = (2, 4);
+        sp.sessions_per_thread = (1, 2);
+        for s in sample_scenarios(&sp, 3, 50) {
+            assert!((2..=4).contains(&s.len()));
+            for t in &s {
+                assert!((1..=2).contains(&t.calls.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn session_templates_keep_their_sequence() {
+        let sp = ScenarioSpace::of_sessions(vec![vec![
+            CallSpec::new("startRead", vec![]),
+            CallSpec::new("endRead", vec![]),
+        ]]);
+        for s in sample_scenarios(&sp, 1, 10) {
+            for t in &s {
+                // Calls come in whole sessions: pairs of start/end.
+                assert_eq!(t.calls.len() % 2, 0);
+                for pair in t.calls.chunks(2) {
+                    assert_eq!(pair[0].method, "startRead");
+                    assert_eq!(pair[1].method, "endRead");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_session_enumeration_complete() {
+        let scenarios = single_session_scenarios(&space(), 2);
+        assert_eq!(scenarios.len(), 4); // 2 templates ^ 2 threads
+        let set: std::collections::HashSet<String> =
+            scenarios.iter().map(describe).collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn describe_format() {
+        let s: Scenario = vec![
+            ThreadSpec {
+                name: "t0".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            ThreadSpec {
+                name: "t1".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            },
+        ];
+        assert_eq!(describe(&s), "t0: receive | t1: send(\"a\")");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session template")]
+    fn empty_template_panics() {
+        let _ = sample_scenarios(&ScenarioSpace::new(vec![]), 0, 1);
+    }
+}

@@ -1,0 +1,519 @@
+//! Test-suite construction: the CoFG-directed greedy suite and the
+//! undirected random baseline.
+//!
+//! The directed suite targets three goal families. Arc coverage alone (the
+//! CoFG criterion of Section 6) exercises every concurrency primitive, but
+//! the paper's companion work (Harvey & Strooper 2001, cited as [13])
+//! found it must be extended with "consideration for the number and type of
+//! processes suspended inside the monitor" and "interesting state and
+//! parameter values". The suite therefore also pursues:
+//!
+//! * **waiter plurality** — reach ≥ 2 threads simultaneously suspended in
+//!   a wait set (the precondition of every lost-notification failure),
+//! * **post-wake observation** — for every method containing a `wait`, some
+//!   path where, after its thread is woken, another thread completes a
+//!   value-returning call (so state corrupted by a bad wake-up is actually
+//!   *observed* by the oracle), and
+//! * **notify effectiveness** — every `notify`/`notifyAll` site is seen, in
+//!   some path, actually waking a waiter (otherwise a suite can pass with a
+//!   notification site whose removal is never noticed, because another
+//!   method's notification shadows it), and
+//! * **mixed waiters** — threads of *different* methods suspended in the
+//!   same wait set simultaneously ([13]'s "type of processes suspended
+//!   inside the monitor"); this is the precondition under which `notify`
+//!   can wake the wrong kind of waiter. Unachievable for some components
+//!   (e.g. the producer–consumer, whose guards are mutually exclusive);
+//!   the suite builder pursues it opportunistically.
+
+use std::collections::{BTreeSet, HashMap};
+
+use jcc_cofg::build_component_cofgs;
+use jcc_cofg::coverage::CoverageTracker;
+use jcc_model::ast::Stmt;
+use jcc_model::Component;
+use jcc_petri::Transition;
+use jcc_vm::trace::{apply_trace, TraceEvent, TraceEventKind};
+use jcc_vm::{compile, explore_observed, CompiledComponent, ExploreConfig, Vm};
+
+use crate::scenario::{sample_scenarios, Scenario, ScenarioSpace};
+
+/// The extra-goal tracker ([13]-style criteria beyond arc coverage).
+#[derive(Debug, Clone)]
+pub struct SuiteGoals {
+    /// Methods that contain a `wait`.
+    wait_methods: BTreeSet<String>,
+    /// Methods that return a value (potential observers).
+    value_methods: BTreeSet<String>,
+    /// All notify/notifyAll sites: (method, statement path).
+    notify_sites: BTreeSet<(String, Vec<usize>)>,
+    /// Seen ≥2 simultaneous waiters on one lock?
+    pub two_waiters_seen: bool,
+    /// Wait-methods for which the post-wake-observation goal is met.
+    pub observed_after_wake: BTreeSet<String>,
+    /// Notify sites observed actually waking at least one waiter.
+    pub effective_notifies: BTreeSet<(String, Vec<usize>)>,
+    /// Seen two threads of different methods waiting on one lock at once?
+    pub mixed_waiters_seen: bool,
+    /// Whether the component has ≥ 2 distinct wait-methods (otherwise the
+    /// mixed-waiter goal is vacuous).
+    mixed_possible: bool,
+}
+
+impl SuiteGoals {
+    /// Set up goals for a component.
+    pub fn new(component: &Component) -> Self {
+        let mut wait_methods = BTreeSet::new();
+        let mut value_methods = BTreeSet::new();
+        let mut notify_sites = BTreeSet::new();
+        for m in &component.methods {
+            let mut has_wait = false;
+            let mut path = Vec::new();
+            collect_sites(&m.body, &mut path, &mut |stmt, path| match stmt {
+                Stmt::Wait { .. } => has_wait = true,
+                Stmt::Notify { .. } | Stmt::NotifyAll { .. } => {
+                    notify_sites.insert((m.name.clone(), path.to_vec()));
+                }
+                _ => {}
+            });
+            if has_wait {
+                wait_methods.insert(m.name.clone());
+            }
+            if m.ret.is_some() {
+                value_methods.insert(m.name.clone());
+            }
+        }
+        // The notify-effectiveness goal is only meaningful when someone can
+        // wait at all.
+        if wait_methods.is_empty() {
+            notify_sites.clear();
+        }
+        let mixed_possible = wait_methods.len() >= 2;
+        SuiteGoals {
+            wait_methods,
+            value_methods,
+            notify_sites,
+            two_waiters_seen: false,
+            observed_after_wake: BTreeSet::new(),
+            effective_notifies: BTreeSet::new(),
+            mixed_waiters_seen: false,
+            mixed_possible,
+        }
+    }
+
+    /// True when every achievable goal is met. With no wait methods there
+    /// is nothing to pursue; with no value-returning methods the
+    /// observation goal is vacuous.
+    pub fn complete(&self) -> bool {
+        let plurality_ok = self.two_waiters_seen || self.wait_methods.is_empty();
+        let observe_ok = self.value_methods.is_empty()
+            || self
+                .wait_methods
+                .iter()
+                .all(|m| self.observed_after_wake.contains(m));
+        let notify_ok = self
+            .notify_sites
+            .iter()
+            .all(|s| self.effective_notifies.contains(s));
+        plurality_ok && observe_ok && notify_ok
+    }
+
+    /// Number of unmet goals (for greedy comparison).
+    pub fn unmet(&self) -> usize {
+        let mut n = 0;
+        if !self.two_waiters_seen && !self.wait_methods.is_empty() {
+            n += 1;
+        }
+        if !self.value_methods.is_empty() {
+            n += self
+                .wait_methods
+                .iter()
+                .filter(|m| !self.observed_after_wake.contains(*m))
+                .count();
+        }
+        n += self
+            .notify_sites
+            .iter()
+            .filter(|s| !self.effective_notifies.contains(*s))
+            .count();
+        if self.mixed_possible && !self.mixed_waiters_seen {
+            n += 1;
+        }
+        n
+    }
+
+    /// A goal tracker with nothing to pursue (arc-only ablation).
+    pub fn vacuous() -> Self {
+        SuiteGoals {
+            wait_methods: BTreeSet::new(),
+            value_methods: BTreeSet::new(),
+            notify_sites: BTreeSet::new(),
+            two_waiters_seen: false,
+            observed_after_wake: BTreeSet::new(),
+            effective_notifies: BTreeSet::new(),
+            mixed_waiters_seen: false,
+            mixed_possible: false,
+        }
+    }
+
+    /// Fold one path's trace into the goals.
+    pub fn observe_trace(&mut self, trace: &[TraceEvent]) {
+        // Current method (and its start index) per thread; waiting counts
+        // per lock; last concurrency site per thread.
+        let mut current: HashMap<usize, (String, usize)> = HashMap::new();
+        let mut waiting: HashMap<usize, Vec<(usize, String)>> = HashMap::new();
+        let mut last_site: HashMap<usize, (String, Vec<usize>)> = HashMap::new();
+        // Wake positions: (trace index, method) of each T5.
+        let mut wakes: Vec<(usize, String)> = Vec::new();
+        for (i, e) in trace.iter().enumerate() {
+            match &e.kind {
+                TraceEventKind::MethodStart { method } => {
+                    current.insert(e.thread, (method.clone(), i));
+                }
+                TraceEventKind::MethodEnd { method } => {
+                    let started = current.remove(&e.thread).map(|(_, s)| s).unwrap_or(0);
+                    // Post-wake observation: a value-returning call by one
+                    // thread *began and completed* after another thread's
+                    // wake-up — only such a call can observe state the woken
+                    // thread corrupted.
+                    if self.value_methods.contains(method) {
+                        for (wi, wmethod) in &wakes {
+                            if *wi < started
+                                && self.wait_methods.contains(wmethod)
+                                && trace[*wi].thread != e.thread
+                            {
+                                self.observed_after_wake.insert(wmethod.clone());
+                            }
+                        }
+                    }
+                }
+                TraceEventKind::Site { method, path, .. } => {
+                    last_site.insert(e.thread, (method.clone(), path.clone()));
+                }
+                TraceEventKind::NotifyIssued { waiters, .. } => {
+                    if *waiters > 0 {
+                        if let Some((m, p)) = last_site.get(&e.thread) {
+                            let key = (m.clone(), p.clone());
+                            if self.notify_sites.contains(&key) {
+                                self.effective_notifies.insert(key);
+                            }
+                        }
+                    }
+                }
+                TraceEventKind::Transition { t, lock } => match t {
+                    Transition::T3 => {
+                        let method = current
+                            .get(&e.thread)
+                            .map(|(m, _)| m.clone())
+                            .unwrap_or_default();
+                        let set = waiting.entry(*lock).or_default();
+                        set.push((e.thread, method));
+                        if set.len() >= 2 {
+                            self.two_waiters_seen = true;
+                            if set.iter().any(|(_, m)| *m != set[0].1) {
+                                self.mixed_waiters_seen = true;
+                            }
+                        }
+                    }
+                    Transition::T5 => {
+                        if let Some(set) = waiting.get_mut(lock) {
+                            if let Some(pos) =
+                                set.iter().position(|(t, _)| *t == e.thread)
+                            {
+                                set.remove(pos);
+                            }
+                        }
+                        if let Some((method, _)) = current.get(&e.thread) {
+                            wakes.push((i, method.clone()));
+                        }
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Walk statements with paths (same convention as `jcc_model::ast`).
+fn collect_sites(
+    block: &[Stmt],
+    path: &mut Vec<usize>,
+    f: &mut impl FnMut(&Stmt, &[usize]),
+) {
+    for (i, stmt) in block.iter().enumerate() {
+        path.push(i);
+        f(stmt, path);
+        match stmt {
+            Stmt::While { body, .. } | Stmt::Synchronized { body, .. } => {
+                collect_sites(body, path, f)
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_sites(then_branch, path, f);
+                for (j, s) in else_branch.iter().enumerate() {
+                    path.push(jcc_model::ast::ELSE_OFFSET + j);
+                    f(s, path);
+                    if let Stmt::While { body, .. } | Stmt::Synchronized { body, .. } = s {
+                        collect_sites(body, path, f);
+                    }
+                    path.pop();
+                }
+            }
+            _ => {}
+        }
+        path.pop();
+    }
+}
+
+/// A constructed test suite with its achieved coverage.
+#[derive(Debug)]
+pub struct CoverageSuite {
+    /// The selected scenarios, in selection order.
+    pub scenarios: Vec<Scenario>,
+    /// Accumulated CoFG coverage of the suite (union over all schedules of
+    /// each scenario for the directed suite; per sampled schedule for the
+    /// random baseline).
+    pub coverage: CoverageTracker,
+    /// State of the [13]-style extra goals after construction.
+    pub goals: SuiteGoals,
+    /// Scenarios examined before the suite was complete (selection cost).
+    pub candidates_examined: usize,
+}
+
+impl CoverageSuite {
+    /// Fraction of CoFG arcs covered.
+    pub fn coverage_ratio(&self) -> f64 {
+        self.coverage.ratio()
+    }
+
+    /// Arc coverage complete *and* all extra goals met.
+    pub fn complete(&self) -> bool {
+        self.coverage.complete() && self.goals.complete()
+    }
+}
+
+/// Configuration for greedy suite construction.
+#[derive(Debug, Clone)]
+pub struct GreedyConfig {
+    /// Seed for candidate sampling.
+    pub seed: u64,
+    /// Candidates sampled beyond the systematic two-thread seed set.
+    pub random_candidates: usize,
+    /// Exploration limits used to evaluate a candidate's coverage.
+    pub explore: ExploreConfig,
+    /// Pursue the [13]-style extra goals beyond arc coverage. Disable for
+    /// the arc-only ablation (experiment E9).
+    pub extra_goals: bool,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            seed: 42,
+            random_candidates: 60,
+            explore: ExploreConfig {
+                max_states: 30_000,
+                max_depth: 800,
+            },
+            extra_goals: true,
+        }
+    }
+}
+
+/// Build a CoFG-directed suite: candidates are tried in order (first the
+/// systematic 2- and 3-thread single-call scenarios, then random samples);
+/// a candidate joins the suite iff exhaustive schedule exploration shows it
+/// covers a CoFG arc — or meets an extra goal — the suite has not yet.
+/// Construction stops when arcs and goals are complete or candidates run
+/// out.
+pub fn greedy_cover_suite(
+    component: &Component,
+    space: &ScenarioSpace,
+    config: &GreedyConfig,
+) -> CoverageSuite {
+    let compiled = compile(component).expect("component compiles");
+    let cofgs = build_component_cofgs(component);
+    let mut coverage = CoverageTracker::new(cofgs.clone());
+    let mut goals = if config.extra_goals {
+        SuiteGoals::new(component)
+    } else {
+        SuiteGoals::vacuous()
+    };
+
+    let mut candidates: Vec<Scenario> = Vec::new();
+    candidates.extend(crate::scenario::single_session_scenarios(space, 2));
+    candidates.extend(crate::scenario::single_session_scenarios(space, 3));
+    candidates.extend(sample_scenarios(space, config.seed, config.random_candidates));
+
+    let mut suite = Vec::new();
+    let mut examined = 0;
+    for scenario in candidates {
+        // Stop only when nothing is left to pursue — including the
+        // opportunistic mixed-waiter goal (unmet() counts it; for
+        // components where it is unachievable the loop simply examines
+        // every candidate once).
+        if coverage.complete() && goals.unmet() == 0 {
+            break;
+        }
+        examined += 1;
+        let mut candidate_cov = CoverageTracker::new(cofgs.clone());
+        let mut candidate_goals = goals.clone();
+        let vm = Vm::new(compiled.clone(), scenario.clone());
+        let _ = explore_observed(vm, &config.explore, |vm| {
+            candidate_cov.reset_threads();
+            apply_trace(vm.trace(), &mut candidate_cov);
+            candidate_goals.observe_trace(vm.trace());
+        });
+        let mut merged = coverage.clone();
+        merged.merge(&candidate_cov);
+        let adds_arc = merged.covered_arcs() > coverage.covered_arcs();
+        let adds_goal = candidate_goals.unmet() < goals.unmet();
+        if adds_arc || adds_goal {
+            coverage = merged;
+            goals = candidate_goals;
+            suite.push(scenario);
+        }
+    }
+    CoverageSuite {
+        scenarios: suite,
+        coverage,
+        goals,
+        candidates_examined: examined,
+    }
+}
+
+/// Build the undirected baseline: `count` randomly sampled scenarios, with
+/// coverage measured from a single random schedule each (what a tester
+/// running the component without schedule control would see).
+pub fn random_suite(
+    component: &Component,
+    space: &ScenarioSpace,
+    seed: u64,
+    count: usize,
+) -> CoverageSuite {
+    let compiled: CompiledComponent = compile(component).expect("component compiles");
+    let cofgs = build_component_cofgs(component);
+    let mut coverage = CoverageTracker::new(cofgs);
+    let mut goals = SuiteGoals::new(component);
+    let scenarios = sample_scenarios(space, seed, count);
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let mut vm = Vm::new(compiled.clone(), scenario.clone());
+        let out = vm.run(&jcc_vm::RunConfig {
+            scheduler: jcc_vm::Scheduler::Random(seed.wrapping_add(i as u64)),
+            max_steps: 20_000,
+        });
+        coverage.reset_threads();
+        apply_trace(&out.trace, &mut coverage);
+        goals.observe_trace(&out.trace);
+    }
+    CoverageSuite {
+        scenarios,
+        coverage,
+        goals,
+        candidates_examined: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_model::examples;
+    use jcc_vm::{CallSpec, Value};
+
+    fn pc_space() -> ScenarioSpace {
+        ScenarioSpace::new(vec![
+            CallSpec::new("receive", vec![]),
+            CallSpec::new("send", vec![Value::Str("a".into())]),
+            CallSpec::new("send", vec![Value::Str("ab".into())]),
+        ])
+    }
+
+    #[test]
+    fn greedy_suite_reaches_full_coverage_on_producer_consumer() {
+        let c = examples::producer_consumer();
+        let suite = greedy_cover_suite(&c, &pc_space(), &GreedyConfig::default());
+        assert!(
+            suite.coverage.complete(),
+            "uncovered: {:?}",
+            suite.coverage.uncovered()
+        );
+        assert!(suite.goals.two_waiters_seen);
+        // Post-wake observation achievable for both methods.
+        assert!(
+            suite.goals.complete(),
+            "unmet goals: {:?}",
+            suite.goals
+        );
+        // The suite is small — a handful of scenarios suffice.
+        assert!(suite.scenarios.len() <= 10, "{}", suite.scenarios.len());
+    }
+
+    #[test]
+    fn greedy_suite_deterministic() {
+        let c = examples::producer_consumer();
+        let a = greedy_cover_suite(&c, &pc_space(), &GreedyConfig::default());
+        let b = greedy_cover_suite(&c, &pc_space(), &GreedyConfig::default());
+        assert_eq!(a.scenarios, b.scenarios);
+    }
+
+    #[test]
+    fn random_suite_coverage_is_no_better() {
+        let c = examples::producer_consumer();
+        let greedy = greedy_cover_suite(&c, &pc_space(), &GreedyConfig::default());
+        let random = random_suite(&c, &pc_space(), 7, greedy.scenarios.len());
+        assert!(random.coverage_ratio() <= greedy.coverage_ratio() + 1e-9);
+    }
+
+    #[test]
+    fn bounded_buffer_suite_covers() {
+        let c = examples::bounded_buffer();
+        let space = ScenarioSpace::new(vec![
+            CallSpec::new("put", vec![Value::Int(1)]),
+            CallSpec::new("put", vec![Value::Int(2)]),
+            CallSpec::new("take", vec![]),
+        ]);
+        let suite = greedy_cover_suite(&c, &space, &GreedyConfig::default());
+        assert!(
+            suite.coverage.complete(),
+            "uncovered: {:?}",
+            suite.coverage.uncovered()
+        );
+    }
+
+    #[test]
+    fn goals_track_waiter_plurality() {
+        let c = examples::producer_consumer();
+        let mut goals = SuiteGoals::new(&c);
+        assert!(!goals.two_waiters_seen);
+        assert!(!goals.complete());
+        // Two receives, no send: both threads wait — plurality reached.
+        let compiled = compile(&c).unwrap();
+        let mut vm = Vm::new(
+            compiled,
+            vec![
+                jcc_vm::ThreadSpec {
+                    name: "a".into(),
+                    calls: vec![CallSpec::new("receive", vec![])],
+                },
+                jcc_vm::ThreadSpec {
+                    name: "b".into(),
+                    calls: vec![CallSpec::new("receive", vec![])],
+                },
+            ],
+        );
+        let out = vm.run(&jcc_vm::RunConfig::default());
+        goals.observe_trace(&out.trace);
+        assert!(goals.two_waiters_seen);
+    }
+
+    #[test]
+    fn goals_vacuous_without_waits() {
+        let c = examples::racy_counter();
+        let goals = SuiteGoals::new(&c);
+        assert!(goals.complete());
+        assert_eq!(goals.unmet(), 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Exhaustive bounded exploration of every schedule — a small explicit-state
+//! model checker over the VM.
+//!
+//! From each reachable VM state, every runnable thread is tried; states are
+//! deduplicated by [`Vm::state_key`] (which includes per-thread coverage
+//! context, so arc-coverage union over schedules is exact). The result
+//! aggregates every distinct terminal outcome:
+//!
+//! * **completed** paths — all calls returned,
+//! * **deadlock** paths — no thread can progress (FF-T2 / FF-T5 pictures),
+//! * **fault** paths — a runtime error or IllegalMonitorState,
+//! * **cycle** paths — the path revisited one of its own earlier states:
+//!   the system can loop forever without any call completing (a spin with
+//!   the lock held is the FF-T4 picture; a pure livelock otherwise).
+//!
+//! The paper's deterministic-testing premise — that a failure only shows up
+//! under *some* schedules — is exactly what this module quantifies.
+
+use std::collections::HashSet;
+
+use jcc_cofg::coverage::CoverageTracker;
+
+use crate::machine::{RunOutcome, Verdict, Vm};
+use crate::trace::apply_trace;
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum distinct states to visit.
+    pub max_states: usize,
+    /// Maximum scheduler decisions along one path (depth bound).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 200_000,
+            max_depth: 2_000,
+        }
+    }
+}
+
+/// Aggregated result of exploring all schedules.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Scheduler transitions taken.
+    pub transitions: usize,
+    /// Terminal paths that completed normally.
+    pub completed_paths: usize,
+    /// Terminal paths ending in deadlock.
+    pub deadlock_paths: usize,
+    /// A witness run for the first deadlock found, if any.
+    pub deadlock_witness: Option<RunOutcome>,
+    /// Terminal paths ending in a fault.
+    pub fault_paths: usize,
+    /// A witness run for the first fault found, if any.
+    pub fault_witness: Option<RunOutcome>,
+    /// Paths that revisited one of their own earlier states (potential
+    /// livelock / busy-wait loop).
+    pub cycle_paths: usize,
+    /// A cycle is *inescapable* when, in the revisited state, only the
+    /// cycling threads are runnable — no other thread can break the loop
+    /// (the SkipWait / HoldLockForever mutant picture).
+    pub inescapable_cycles: usize,
+    /// A witness for the first cycle found, if any.
+    pub cycle_witness: Option<RunOutcome>,
+    /// Paths cut off by the depth bound.
+    pub depth_limited_paths: usize,
+    /// True when the state or depth limits truncated the exploration.
+    pub truncated: bool,
+}
+
+impl ExploreResult {
+    /// True when at least one schedule deadlocks, faults or can loop
+    /// forever.
+    pub fn found_failure(&self) -> bool {
+        self.deadlock_paths > 0 || self.fault_paths > 0 || self.cycle_paths > 0
+    }
+}
+
+/// Explore every schedule of `vm` (consumed as the initial state). When
+/// `coverage` is provided, the union of CoFG coverage over all explored
+/// paths is accumulated into it.
+pub fn explore(
+    vm: Vm,
+    config: &ExploreConfig,
+    coverage: Option<&mut CoverageTracker>,
+) -> ExploreResult {
+    match coverage {
+        Some(tracker) => explore_observed(vm, config, |vm| {
+            tracker.reset_threads();
+            apply_trace(vm.trace(), tracker);
+        }),
+        None => explore_observed(vm, config, |_| {}),
+    }
+}
+
+/// Like [`explore`], but calls `observer` with the VM at the end of every
+/// maximal path prefix (terminal states, cycle closures and first revisits
+/// of shared states) — the points where a path's trace is complete enough
+/// to measure path properties such as coverage or waiter profiles.
+pub fn explore_observed(
+    vm: Vm,
+    config: &ExploreConfig,
+    mut observer: impl FnMut(&Vm),
+) -> ExploreResult {
+    let mut result = ExploreResult {
+        states: 1,
+        transitions: 0,
+        completed_paths: 0,
+        deadlock_paths: 0,
+        deadlock_witness: None,
+        fault_paths: 0,
+        fault_witness: None,
+        cycle_paths: 0,
+        inescapable_cycles: 0,
+        cycle_witness: None,
+        depth_limited_paths: 0,
+        truncated: false,
+    };
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut on_path: HashSet<u64> = HashSet::new();
+    let key0 = vm.state_key();
+    seen.insert(key0);
+    on_path.insert(key0);
+    dfs(
+        vm,
+        0,
+        config,
+        &mut seen,
+        &mut on_path,
+        &mut result,
+        &mut observer,
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    vm: Vm,
+    depth: usize,
+    config: &ExploreConfig,
+    seen: &mut HashSet<u64>,
+    on_path: &mut HashSet<u64>,
+    result: &mut ExploreResult,
+    observer: &mut impl FnMut(&Vm),
+) {
+    if let Some(verdict) = vm.current_verdict() {
+        observer(&vm);
+        match &verdict {
+            Verdict::Completed => result.completed_paths += 1,
+            Verdict::Faulted { .. } => {
+                result.fault_paths += 1;
+                if result.fault_witness.is_none() {
+                    result.fault_witness = Some(vm.into_outcome(verdict));
+                }
+            }
+            Verdict::Deadlock { .. } => {
+                result.deadlock_paths += 1;
+                if result.deadlock_witness.is_none() {
+                    result.deadlock_witness = Some(vm.into_outcome(verdict));
+                }
+            }
+            Verdict::StepLimit => unreachable!("explorer does not use step budgets"),
+        }
+        return;
+    }
+    if depth >= config.max_depth {
+        result.depth_limited_paths += 1;
+        result.truncated = true;
+        return;
+    }
+    for t in vm.runnable() {
+        let mut next = vm.clone();
+        next.step(t);
+        result.transitions += 1;
+        let key = next.state_key();
+        if on_path.contains(&key) {
+            // The path closed a loop on itself: it can repeat forever.
+            result.cycle_paths += 1;
+            let runnable = next.runnable();
+            if runnable.len() == 1 {
+                result.inescapable_cycles += 1;
+            }
+            observer(&next);
+            if result.cycle_witness.is_none() {
+                result.cycle_witness = Some(next.into_outcome(Verdict::StepLimit));
+            }
+            continue;
+        }
+        if !seen.insert(key) {
+            // Reached a state first visited on another path: its subtree is
+            // observed from there; report this path's prefix only.
+            observer(&next);
+            continue;
+        }
+        if result.states >= config.max_states {
+            result.truncated = true;
+            continue;
+        }
+        result.states += 1;
+        on_path.insert(key);
+        dfs(next, depth + 1, config, seen, on_path, result, observer);
+        on_path.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::machine::{CallSpec, ThreadSpec};
+    use crate::value::Value;
+    use jcc_cofg::build_component_cofgs;
+    use jcc_model::examples;
+
+    fn pc_threads() -> Vec<ThreadSpec> {
+        vec![
+            ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            },
+        ]
+    }
+
+    #[test]
+    fn producer_consumer_never_fails() {
+        let c = examples::producer_consumer();
+        let vm = Vm::new(compile(&c).unwrap(), pc_threads());
+        let r = explore(vm, &ExploreConfig::default(), None);
+        assert!(!r.found_failure(), "{r:?}");
+        assert!(r.completed_paths > 0);
+        assert!(!r.truncated);
+        assert!(r.states > 10);
+    }
+
+    #[test]
+    fn lock_order_deadlock_found_by_exploration() {
+        let c = examples::lock_order_deadlock();
+        let vm = Vm::new(
+            compile(&c).unwrap(),
+            vec![
+                ThreadSpec {
+                    name: "f".into(),
+                    calls: vec![CallSpec::new("forward", vec![])],
+                },
+                ThreadSpec {
+                    name: "b".into(),
+                    calls: vec![CallSpec::new("backward", vec![])],
+                },
+            ],
+        );
+        let r = explore(vm, &ExploreConfig::default(), None);
+        assert!(r.deadlock_paths > 0);
+        assert!(r.completed_paths > 0, "some schedules do complete");
+        let witness = r.deadlock_witness.as_ref().unwrap();
+        assert!(matches!(witness.verdict, Verdict::Deadlock { .. }));
+    }
+
+    #[test]
+    fn skip_wait_mutant_spins_inescapably() {
+        // The FF-T3 mutant turns receive's wait into `skip`: the consumer
+        // busy-waits while *holding the monitor*, so the producer can never
+        // enter — an inescapable cycle (the runtime picture of FF-T4 for
+        // every other thread: FF-T2).
+        let c = examples::producer_consumer();
+        let m = jcc_model::mutate::enumerate_mutations(&c)
+            .into_iter()
+            .find(|m| {
+                m.kind == jcc_model::mutate::MutationKind::SkipWait && m.method == "receive"
+            })
+            .unwrap();
+        let mutant = jcc_model::mutate::apply_mutation(&c, &m).unwrap();
+        let vm = Vm::new(compile(&mutant).unwrap(), pc_threads());
+        let r = explore(vm, &ExploreConfig::default(), None);
+        assert!(r.cycle_paths > 0, "{r:?}");
+        assert!(r.inescapable_cycles > 0, "{r:?}");
+        assert!(r.found_failure());
+    }
+
+    #[test]
+    fn drop_notify_mutant_deadlocks_somewhere() {
+        let c = examples::producer_consumer();
+        let m = jcc_model::mutate::enumerate_mutations(&c)
+            .into_iter()
+            .find(|m| {
+                m.kind == jcc_model::mutate::MutationKind::DropNotify && m.method == "send"
+            })
+            .unwrap();
+        let mutant = jcc_model::mutate::apply_mutation(&c, &m).unwrap();
+        let vm = Vm::new(compile(&mutant).unwrap(), pc_threads());
+        let r = explore(vm, &ExploreConfig::default(), None);
+        // Consumer-first schedules: consumer waits, send never notifies.
+        assert!(r.deadlock_paths > 0, "{r:?}");
+    }
+
+    #[test]
+    fn coverage_union_over_all_schedules() {
+        let c = examples::producer_consumer();
+        let vm = Vm::new(compile(&c).unwrap(), pc_threads());
+        let mut tracker = CoverageTracker::new(build_component_cofgs(&c));
+        let _ = explore(vm, &ExploreConfig::default(), Some(&mut tracker));
+        // With one receive and one send of "a": receive can cover
+        // start->wait, start->notifyAll, wait->notifyAll, notifyAll->end;
+        // send can cover start->notifyAll, notifyAll->end. wait->wait needs
+        // a second wakeup and send's wait arcs need a pre-filled buffer:
+        // exactly 6 coverable arcs.
+        assert_eq!(
+            tracker.covered_arcs(),
+            6,
+            "uncovered: {:?}",
+            tracker.uncovered()
+        );
+    }
+
+    #[test]
+    fn state_limit_truncates() {
+        let c = examples::producer_consumer();
+        let vm = Vm::new(compile(&c).unwrap(), pc_threads());
+        let r = explore(
+            vm,
+            &ExploreConfig {
+                max_states: 5,
+                max_depth: 2_000,
+            },
+            None,
+        );
+        assert!(r.truncated);
+        assert!(r.states <= 5);
+    }
+
+    #[test]
+    fn depth_limit_counts_paths() {
+        let c = examples::producer_consumer();
+        let vm = Vm::new(compile(&c).unwrap(), pc_threads());
+        let r = explore(
+            vm,
+            &ExploreConfig {
+                max_states: 200_000,
+                max_depth: 3,
+            },
+            None,
+        );
+        assert!(r.truncated);
+        assert!(r.depth_limited_paths > 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! VM semantics over the whole component corpus: each monitor behaves per
+//! its specification under controlled schedules and exhaustive exploration.
+
+use jcc_model::examples;
+use jcc_vm::{
+    compile, explore, CallSpec, ExploreConfig, RunConfig, Scheduler, ThreadSpec, Value,
+    Verdict, Vm,
+};
+
+fn spec(name: &str, calls: Vec<CallSpec>) -> ThreadSpec {
+    ThreadSpec {
+        name: name.to_string(),
+        calls,
+    }
+}
+
+#[test]
+fn bounded_buffer_alternates() {
+    let c = examples::bounded_buffer();
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec(
+                "producer",
+                (0..4).map(|i| CallSpec::new("put", vec![Value::Int(i)])).collect(),
+            ),
+            spec("consumer", (0..4).map(|_| CallSpec::new("take", vec![])).collect()),
+        ],
+    );
+    let out = vm.run(&RunConfig::default());
+    assert_eq!(out.verdict, Verdict::Completed);
+    let taken: Vec<Value> = out.results[1]
+        .iter()
+        .map(|r| r.returned.clone().unwrap())
+        .collect();
+    assert_eq!(
+        taken,
+        vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)],
+        "one-slot buffer forces strict alternation"
+    );
+}
+
+#[test]
+fn bounded_buffer_never_fails_exhaustively() {
+    let c = examples::bounded_buffer();
+    let vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec("p", vec![CallSpec::new("put", vec![Value::Int(1)])]),
+            spec("c", vec![CallSpec::new("take", vec![])]),
+        ],
+    );
+    let r = explore(vm, &ExploreConfig::default(), None);
+    assert!(!r.found_failure(), "{r:?}");
+}
+
+#[test]
+fn semaphore_bounds_holders_under_all_schedules() {
+    // permits=1: two acquirers, one release each — like a mutex handoff.
+    let c = examples::semaphore();
+    let vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec("init", vec![CallSpec::new("init", vec![Value::Int(1)])]),
+            spec(
+                "a",
+                vec![CallSpec::new("acquire", vec![]), CallSpec::new("release", vec![])],
+            ),
+            spec(
+                "b",
+                vec![CallSpec::new("acquire", vec![]), CallSpec::new("release", vec![])],
+            ),
+        ],
+    );
+    let r = explore(vm, &ExploreConfig::default(), None);
+    assert!(!r.found_failure(), "{r:?}");
+    assert!(r.completed_paths > 0);
+}
+
+#[test]
+fn semaphore_acquire_without_permits_suspends() {
+    let c = examples::semaphore();
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![spec("a", vec![CallSpec::new("acquire", vec![])])],
+    );
+    let out = vm.run(&RunConfig::default());
+    assert!(matches!(out.verdict, Verdict::Deadlock { ref waiting, .. } if waiting == &vec![0]));
+}
+
+#[test]
+fn barrier_releases_full_generation() {
+    let c = examples::barrier();
+    // parties defaults to 2.
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec("a", vec![CallSpec::new("await", vec![])]),
+            spec("b", vec![CallSpec::new("await", vec![])]),
+        ],
+    );
+    let out = vm.run(&RunConfig::default());
+    assert_eq!(out.verdict, Verdict::Completed);
+    // Both awaited generation 0.
+    assert_eq!(out.results[0][0].returned, Some(Value::Int(0)));
+    assert_eq!(out.results[1][0].returned, Some(Value::Int(0)));
+}
+
+#[test]
+fn barrier_lone_arrival_waits_forever() {
+    let c = examples::barrier();
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![spec("a", vec![CallSpec::new("await", vec![])])],
+    );
+    let out = vm.run(&RunConfig::default());
+    assert!(matches!(out.verdict, Verdict::Deadlock { ref waiting, .. } if waiting == &vec![0]));
+}
+
+#[test]
+fn barrier_is_cyclic_across_generations() {
+    let c = examples::barrier();
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec(
+                "a",
+                vec![CallSpec::new("await", vec![]), CallSpec::new("await", vec![])],
+            ),
+            spec(
+                "b",
+                vec![CallSpec::new("await", vec![]), CallSpec::new("await", vec![])],
+            ),
+        ],
+    );
+    let out = vm.run(&RunConfig {
+        scheduler: Scheduler::Random(5),
+        max_steps: 50_000,
+    });
+    assert_eq!(out.verdict, Verdict::Completed);
+    for results in &out.results {
+        assert_eq!(results[0].returned, Some(Value::Int(0)));
+        assert_eq!(results[1].returned, Some(Value::Int(1)));
+    }
+}
+
+#[test]
+fn readers_writers_excludes_under_all_schedules() {
+    // One full write session and one full read session: every interleaving
+    // completes (writer preference cannot strand a balanced workload).
+    let c = examples::readers_writers();
+    let vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec(
+                "w",
+                vec![
+                    CallSpec::new("startWrite", vec![]),
+                    CallSpec::new("endWrite", vec![]),
+                ],
+            ),
+            spec(
+                "r",
+                vec![
+                    CallSpec::new("startRead", vec![]),
+                    CallSpec::new("endRead", vec![]),
+                ],
+            ),
+        ],
+    );
+    let r = explore(vm, &ExploreConfig::default(), None);
+    assert!(!r.found_failure(), "{r:?}");
+    assert!(r.completed_paths > 0);
+}
+
+#[test]
+fn readers_writers_writer_preference_observable() {
+    // Reader holds; writer queues; a second reader must NOT pass the
+    // waiting writer. Forced schedule: r1 starts read, w requests write,
+    // r2 tries to read — r2 blocks until the writer got its turn.
+    let c = examples::readers_writers();
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec(
+                "r1",
+                vec![CallSpec::new("startRead", vec![]), CallSpec::new("endRead", vec![])],
+            ),
+            spec("w", vec![CallSpec::new("startWrite", vec![])]),
+            spec("r2", vec![CallSpec::new("startRead", vec![])]),
+        ],
+    );
+    // r1 completes startRead (7 steps); w runs startWrite to its wait
+    // (5 steps: begin, enter, writersWaiting+=1, guard, wait); r2 runs
+    // startRead to its wait behind the queued writer (4 steps); r1's
+    // endRead notifies (8 steps); w wins the wake-up (preference), r2
+    // re-waits. w never ends its write, so r2 stays waiting.
+    let mut plan = Vec::new();
+    plan.extend(std::iter::repeat(0).take(7));
+    plan.extend(std::iter::repeat(1).take(5));
+    plan.extend(std::iter::repeat(2).take(4));
+    plan.extend(std::iter::repeat(0).take(8));
+    plan.extend(std::iter::repeat(1).take(7));
+    plan.extend(std::iter::repeat(2).take(3));
+    let out = vm.run(&RunConfig {
+        scheduler: Scheduler::Fixed(plan),
+        max_steps: 10_000,
+    });
+    match &out.verdict {
+        Verdict::Deadlock { waiting, .. } => {
+            assert!(waiting.contains(&2), "r2 must be the one left waiting: {out:?}")
+        }
+        other => panic!("expected r2 stranded behind the writer, got {other:?}"),
+    }
+    // The writer itself completed its startWrite.
+    assert!(!out.results[1][0].suspended());
+}
+
+#[test]
+fn dining_ordered_corpus_smoke() {
+    let c = examples::dining_ordered();
+    let mut vm = Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            spec("p0", vec![CallSpec::new("eat0", vec![])]),
+            spec("p1", vec![CallSpec::new("eat1", vec![])]),
+            spec("p2", vec![CallSpec::new("eat2", vec![])]),
+        ],
+    );
+    let out = vm.run(&RunConfig::default());
+    assert_eq!(out.verdict, Verdict::Completed);
+    assert_eq!(vm.field("meals"), Some(&Value::Int(3)));
+}

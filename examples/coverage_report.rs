@@ -1,0 +1,95 @@
+//! Coverage-driven testing: watch CoFG arc coverage grow as scenarios are
+//! added, for every component in the corpus — the workflow of the paper's
+//! Section 6 (each uncovered arc names the next test to write).
+//!
+//! Run with `cargo run --example coverage_report`.
+
+use jcc_core::cofg::{build_component_cofgs, CoverageTracker};
+use jcc_core::model::examples;
+use jcc_core::report::render_coverage;
+use jcc_core::testgen::scenario::{describe, ScenarioSpace};
+use jcc_core::testgen::suite::GreedyConfig;
+use jcc_core::vm::trace::apply_trace;
+use jcc_core::vm::{compile, explore_observed, CallSpec, ExploreConfig, Value, Vm};
+
+fn main() {
+    let component = examples::producer_consumer();
+    let cofgs = build_component_cofgs(&component);
+    let compiled = compile(&component).unwrap();
+    let space = ScenarioSpace::new(vec![
+        CallSpec::new("receive", vec![]),
+        CallSpec::new("send", vec![Value::Str("a".into())]),
+        CallSpec::new("send", vec![Value::Str("ab".into())]),
+    ]);
+    let suite = jcc_core::testgen::suite::greedy_cover_suite(
+        &component,
+        &space,
+        &GreedyConfig::default(),
+    );
+
+    let mut tracker = CoverageTracker::new(cofgs);
+    println!("building up coverage scenario by scenario:\n");
+    for (i, scenario) in suite.scenarios.iter().enumerate() {
+        let vm = Vm::new(compiled.clone(), scenario.clone());
+        let _ = explore_observed(vm, &ExploreConfig::default(), |vm| {
+            tracker.reset_threads();
+            apply_trace(vm.trace(), &mut tracker);
+        });
+        println!(
+            "after scenario {} ({}): {}/{} arcs",
+            i + 1,
+            describe(scenario),
+            tracker.covered_arcs(),
+            tracker.total_arcs()
+        );
+    }
+    println!();
+    println!("{}", render_coverage(&tracker));
+
+    println!("corpus summary (directed suites):");
+    for (name, c) in examples::corpus() {
+        let space = default_space(name);
+        let suite =
+            jcc_core::testgen::suite::greedy_cover_suite(&c, &space, &GreedyConfig::default());
+        println!(
+            "  {name}: {} scenarios -> {:.0}% arc coverage",
+            suite.scenarios.len(),
+            suite.coverage_ratio() * 100.0
+        );
+    }
+}
+
+fn default_space(name: &str) -> ScenarioSpace {
+    match name {
+        "ProducerConsumer" => ScenarioSpace::new(vec![
+            CallSpec::new("receive", vec![]),
+            CallSpec::new("send", vec![Value::Str("a".into())]),
+            CallSpec::new("send", vec![Value::Str("ab".into())]),
+        ]),
+        "BoundedBuffer" => ScenarioSpace::new(vec![
+            CallSpec::new("put", vec![Value::Int(1)]),
+            CallSpec::new("put", vec![Value::Int(2)]),
+            CallSpec::new("take", vec![]),
+        ]),
+        "Semaphore" => ScenarioSpace::new(vec![
+            CallSpec::new("init", vec![Value::Int(1)]),
+            CallSpec::new("acquire", vec![]),
+            CallSpec::new("release", vec![]),
+        ]),
+        "ReadersWriters" => ScenarioSpace::of_sessions(vec![
+            vec![
+                CallSpec::new("startRead", vec![]),
+                CallSpec::new("endRead", vec![]),
+            ],
+            vec![
+                CallSpec::new("startWrite", vec![]),
+                CallSpec::new("endWrite", vec![]),
+            ],
+        ]),
+        "Barrier" => ScenarioSpace::new(vec![
+            CallSpec::new("init", vec![Value::Int(2)]),
+            CallSpec::new("await", vec![]),
+        ]),
+        other => panic!("no scenario space for {other}"),
+    }
+}

@@ -1,0 +1,183 @@
+//! Integration: every mutation operator provokes the failure class Table 1
+//! assigns to it, detectable by the technique the paper's testing notes
+//! name.
+
+use jcc_core::detect::classify::{classify_explore, classify_outcome};
+use jcc_core::model::examples;
+use jcc_core::model::mutate::{apply_mutation, enumerate_mutations, Mutation, MutationKind};
+use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Value, Vm};
+
+fn pc_scenario() -> Vec<ThreadSpec> {
+    vec![
+        ThreadSpec {
+            name: "c".into(),
+            calls: vec![CallSpec::new("receive", vec![])],
+        },
+        ThreadSpec {
+            name: "p".into(),
+            calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+        },
+    ]
+}
+
+fn find(kind: MutationKind, method: &str) -> (Mutation, jcc_core::model::Component) {
+    let c = examples::producer_consumer();
+    let m = enumerate_mutations(&c)
+        .into_iter()
+        .find(|m| m.kind == kind && m.method == method)
+        .unwrap_or_else(|| panic!("no {kind} mutation on {method}"));
+    let mutant = apply_mutation(&c, &m).unwrap();
+    (m, mutant)
+}
+
+#[test]
+fn skip_wait_provokes_inescapable_spin() {
+    let (_, mutant) = find(MutationKind::SkipWait, "receive");
+    let r = explore(
+        Vm::new(compile(&mutant).unwrap(), pc_scenario()),
+        &ExploreConfig::default(),
+        None,
+    );
+    assert!(r.inescapable_cycles > 0);
+    let findings = classify_explore(&r);
+    assert!(findings.iter().any(|f| f.class.code() == "FF-T4"), "{findings:?}");
+}
+
+#[test]
+fn drop_notify_provokes_ff_t5() {
+    let (_, mutant) = find(MutationKind::DropNotify, "send");
+    let r = explore(
+        Vm::new(compile(&mutant).unwrap(), pc_scenario()),
+        &ExploreConfig::default(),
+        None,
+    );
+    assert!(r.deadlock_paths > 0);
+    let findings = classify_explore(&r);
+    assert!(findings.iter().any(|f| f.class.code() == "FF-T5"), "{findings:?}");
+}
+
+#[test]
+fn hold_lock_forever_blocks_every_other_thread() {
+    let (_, mutant) = find(MutationKind::HoldLockForever, "receive");
+    let r = explore(
+        Vm::new(compile(&mutant).unwrap(), pc_scenario()),
+        &ExploreConfig::default(),
+        None,
+    );
+    assert!(r.cycle_paths > 0);
+    assert!(r.inescapable_cycles > 0, "nobody can break the spin: {r:?}");
+}
+
+#[test]
+fn drop_synchronized_raises_illegal_monitor_state() {
+    let (_, mutant) = find(MutationKind::DropSynchronized, "send");
+    let mut vm = Vm::new(compile(&mutant).unwrap(), pc_scenario());
+    let out = vm.run(&jcc_core::vm::RunConfig::default());
+    let findings = classify_outcome(&out);
+    assert!(
+        findings.iter().any(|f| f.class.code() == "FF-T1"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn spurious_wait_suspends_whole_system() {
+    let (_, mutant) = find(MutationKind::SpuriousWait, "send");
+    // Producer alone: its spurious wait has no notifier.
+    let mut vm = Vm::new(
+        compile(&mutant).unwrap(),
+        vec![ThreadSpec {
+            name: "p".into(),
+            calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+        }],
+    );
+    let out = vm.run(&jcc_core::vm::RunConfig::default());
+    assert!(matches!(
+        out.verdict,
+        jcc_core::vm::Verdict::Deadlock { ref waiting, .. } if waiting == &vec![0]
+    ));
+}
+
+#[test]
+fn negate_wait_condition_inverts_blocking() {
+    let (_, mutant) = find(MutationKind::NegateWaitCondition, "receive");
+    // With the guard negated, a receive on an EMPTY buffer no longer waits
+    // — it barges ahead and faults on charAt (FF-T3's "erroneously execute
+    // in a critical section").
+    let mut vm = Vm::new(
+        compile(&mutant).unwrap(),
+        vec![ThreadSpec {
+            name: "c".into(),
+            calls: vec![CallSpec::new("receive", vec![])],
+        }],
+    );
+    let out = vm.run(&jcc_core::vm::RunConfig::default());
+    assert!(matches!(out.verdict, jcc_core::vm::Verdict::Faulted { .. }));
+}
+
+#[test]
+fn early_return_skips_notification() {
+    let (_, mutant) = find(MutationKind::EarlyReturn, "send");
+    // Consumer waits; mutated send releases early without notifying.
+    let r = explore(
+        Vm::new(compile(&mutant).unwrap(), pc_scenario()),
+        &ExploreConfig::default(),
+        None,
+    );
+    assert!(r.deadlock_paths > 0, "{r:?}");
+}
+
+#[test]
+fn redundant_sync_is_behaviourally_neutral() {
+    // EF-T1: "not necessarily a serious problem … simply introduces
+    // inefficiency". Reentrancy makes the mutant's behaviour identical.
+    use jcc_core::testgen::signature::{enumerate_signatures, EnumLimits};
+    let (_, mutant) = find(MutationKind::AddRedundantSync, "receive");
+    let c = examples::producer_consumer();
+    let (a, _) = enumerate_signatures(
+        Vm::new(compile(&c).unwrap(), pc_scenario()),
+        EnumLimits::default(),
+    );
+    let (b, _) = enumerate_signatures(
+        Vm::new(compile(&mutant).unwrap(), pc_scenario()),
+        EnumLimits::default(),
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn all_mutants_of_corpus_execute_without_panicking_the_vm() {
+    for (name, component) in examples::corpus() {
+        for (mutation, mutant) in jcc_core::model::mutate::all_mutants(&component) {
+            let compiled = compile(&mutant)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", mutation.label()));
+            // A tiny smoke scenario: one thread calls each method once with
+            // default-ish args — the VM must terminate with SOME verdict.
+            let calls: Vec<CallSpec> = mutant
+                .methods
+                .iter()
+                .map(|m| {
+                    CallSpec::new(
+                        m.name.clone(),
+                        m.params
+                            .iter()
+                            .map(|p| jcc_core::vm::Value::default_of(p.ty))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let mut vm = Vm::new(
+                compiled,
+                vec![ThreadSpec {
+                    name: "t".into(),
+                    calls,
+                }],
+            );
+            let out = vm.run(&jcc_core::vm::RunConfig {
+                scheduler: jcc_core::vm::Scheduler::RoundRobin,
+                max_steps: 5_000,
+            });
+            let _ = out.verdict;
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Integration: the paper's artifacts regenerate exactly — Figure 1's net,
+//! Table 1's rows, Figure 2's behaviour, Figure 3's arcs.
+
+use jcc_core::cofg::paper::{compare_with_figure3, ArcMatch};
+use jcc_core::cofg::{build_component_cofgs, NodeKind};
+use jcc_core::hazop::{generate_table, DetectionTechnique};
+use jcc_core::model::examples;
+use jcc_core::petri::{invariant, JavaNet, ReachGraph, ReachLimits, Transition};
+use jcc_core::report::render_table1;
+
+#[test]
+fn figure1_net_structure() {
+    let j = JavaNet::new(1);
+    let net = j.net();
+    assert_eq!(net.num_places(), 5);
+    assert_eq!(net.num_transitions(), 5);
+    // T1: A -> B
+    let t1 = j.transition(0, Transition::T1);
+    assert_eq!(net.inputs(t1).len(), 1);
+    assert_eq!(net.place_name(net.inputs(t1)[0].0), "A");
+    assert_eq!(net.place_name(net.outputs(t1)[0].0), "B");
+    // T2 consumes B and E.
+    let t2 = j.transition(0, Transition::T2);
+    let names: Vec<&str> = net.inputs(t2).iter().map(|&(p, _)| net.place_name(p)).collect();
+    assert_eq!(names, vec!["B", "E"]);
+    // T3 produces D and E (wait releases the lock).
+    let t3 = j.transition(0, Transition::T3);
+    let names: Vec<&str> = net.outputs(t3).iter().map(|&(p, _)| net.place_name(p)).collect();
+    assert_eq!(names, vec!["D", "E"]);
+    // T5: D -> B, and only T5 needs another thread (the dashed arc).
+    assert!(Transition::T5.requires_other_thread());
+}
+
+#[test]
+fn figure1_invariants_and_reachability() {
+    for threads in 1..=3 {
+        let j = JavaNet::new(threads);
+        assert!(invariant::is_invariant(j.net(), &j.mutex_invariant()));
+        let g = ReachGraph::explore(j.net(), ReachLimits::default());
+        assert!(g.is_k_bounded(1), "the model is safe (1-bounded)");
+        assert_eq!(g.stats().deadlocks, 0, "raw net is deadlock-free");
+        // Mutual exclusion in every reachable marking.
+        for m in g.markings() {
+            let in_critical = (0..threads)
+                .filter(|&t| {
+                    m.tokens(j.place(t, jcc_core::petri::ThreadPlace::Critical)) > 0
+                })
+                .count();
+            assert!(in_critical <= 1);
+        }
+    }
+}
+
+#[test]
+fn table1_generated_rows_match_paper_content() {
+    let rows = generate_table(&JavaNet::new(1));
+    assert_eq!(rows.len(), 10);
+    let text = render_table1(&rows);
+
+    // Spot-check the paper's distinctive phrases, row by row.
+    for phrase in [
+        "race condition",                        // FF-T1 consequences
+        "Unnecessary synchronization",           // EF-T1 (render may differ in case)
+        "permanently suspended",                 // FF-T2 / FF-T5
+        "leave the critical section prematurely", // FF-T3
+        "suspend indefinitely",                  // EF-T3
+        "endless loop",                          // FF-T4 conditions
+        "reassigning",                           // EF-T4 conditions
+        "prematurely re-enters the critical section", // EF-T5
+    ] {
+        assert!(
+            text.to_lowercase().contains(&phrase.to_lowercase()),
+            "Table 1 rendering missing phrase: {phrase}"
+        );
+    }
+
+    // The testing-notes structure the paper assigns.
+    let row = |code: &str| rows.iter().find(|r| r.class.code() == code).unwrap();
+    assert!(row("FF-T1").detection.contains(&DetectionTechnique::StaticAnalysis));
+    assert!(row("FF-T2").detection.contains(&DetectionTechnique::DynamicAnalysis));
+    for code in ["FF-T3", "EF-T3", "FF-T4", "EF-T4", "FF-T5", "EF-T5"] {
+        assert!(
+            row(code).detection.contains(&DetectionTechnique::CompletionTime),
+            "{code} must be detectable by completion time"
+        );
+    }
+    assert!(!row("EF-T2").applicable);
+}
+
+#[test]
+fn figure2_behaviour_via_vm() {
+    use jcc_core::vm::{compile, CallSpec, RunConfig, ThreadSpec, Value, Verdict, Vm};
+    let component = examples::producer_consumer();
+    let mut vm = Vm::new(
+        compile(&component).unwrap(),
+        vec![
+            ThreadSpec {
+                name: "consumer".into(),
+                calls: (0..5).map(|_| CallSpec::new("receive", vec![])).collect(),
+            },
+            ThreadSpec {
+                name: "producer".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("hello".into())])],
+            },
+        ],
+    );
+    let out = vm.run(&RunConfig::default());
+    assert_eq!(out.verdict, Verdict::Completed);
+    let received: String = out.results[0]
+        .iter()
+        .map(|r| match &r.returned {
+            Some(jcc_core::vm::Value::Str(s)) => s.clone(),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(received, "hello");
+}
+
+#[test]
+fn figure3_arcs_regenerate() {
+    let component = examples::producer_consumer();
+    let graphs = build_component_cofgs(&component);
+    assert_eq!(graphs.len(), 2);
+    for g in &graphs {
+        assert_eq!(g.arcs.len(), 5, "{} must have exactly 5 arcs", g.method);
+        let kinds: Vec<NodeKind> = g.nodes.iter().map(|n| n.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![NodeKind::Start, NodeKind::Wait, NodeKind::NotifyAll, NodeKind::End]
+        );
+        let (matches, extra) = compare_with_figure3(g);
+        assert_eq!(extra, 0);
+        // Arcs 1, 2, 4, 5 match verbatim; arc 3 matches the systematic
+        // derivation (the paper's printed sequence for it is anomalous).
+        assert_eq!(
+            matches,
+            vec![
+                ArcMatch::MatchesPrinted,
+                ArcMatch::MatchesPrinted,
+                ArcMatch::MatchesDerived,
+                ArcMatch::MatchesPrinted,
+                ArcMatch::MatchesPrinted,
+            ]
+        );
+    }
+    assert!(graphs[0].isomorphic(&graphs[1]), "send ≡ receive (Figure 3)");
+}
+
+#[test]
+fn wait_forever_dead_state_under_side_condition() {
+    // The paper's FF-T5 "only one thread … waits forever", at model level.
+    let j = JavaNet::new(1);
+    let g = ReachGraph::explore_filtered(
+        j.net(),
+        ReachLimits::default(),
+        j.notify_side_condition(),
+    );
+    let dead = g.dead_states();
+    assert_eq!(dead.len(), 1);
+    assert!(j.all_threads_stuck(&g.markings()[dead[0]]));
+}

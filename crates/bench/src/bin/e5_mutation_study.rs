@@ -6,7 +6,10 @@
 //! components whose every method re-notifies); the random baseline misses
 //! the wait/notify-path mutants that need specific interleavings.
 
+use std::time::Instant;
+
 use jcc_core::model::examples;
+use jcc_core::petri::Parallelism;
 use jcc_core::pipeline::{mutation_study, MutationStudyConfig};
 use jcc_core::report::render_study;
 use jcc_core::testgen::scenario::ScenarioSpace;
@@ -58,15 +61,39 @@ fn main() {
         ),
     ];
 
-    let config = MutationStudyConfig::default();
+    let seq_config = MutationStudyConfig {
+        parallelism: Parallelism::sequential(),
+        ..MutationStudyConfig::default()
+    };
+    // At least two workers, so the fan-out engine is exercised even on a
+    // single-core host.
+    let par_config = MutationStudyConfig {
+        parallelism: Parallelism::with_threads(Parallelism::available().threads.max(2)),
+        ..MutationStudyConfig::default()
+    };
+    let workers = par_config.parallelism.threads;
     let mut grand_directed = (0usize, 0usize);
     let mut grand_random = (0usize, 0usize);
     for (name, component, space) in studies {
         println!("================================================================");
         println!("E5 mutation study: {name}");
         println!("================================================================");
-        let result = mutation_study(&component, &space, &config);
+        let t0 = Instant::now();
+        let sequential = mutation_study(&component, &space, &seq_config);
+        let seq_time = t0.elapsed();
+        let t0 = Instant::now();
+        let result = mutation_study(&component, &space, &par_config);
+        let par_time = t0.elapsed();
+        assert_eq!(
+            sequential.directed_score(),
+            result.directed_score(),
+            "parallel study must reproduce the sequential scores"
+        );
+        assert_eq!(sequential.random_score(), result.random_score());
         println!("{}", render_study(&result));
+        println!(
+            "throughput: sequential {seq_time:.1?}, parallel x{workers} {par_time:.1?}\n"
+        );
         let (dd, dt) = result.directed_score();
         let (rd, rt) = result.random_score();
         grand_directed.0 += dd;

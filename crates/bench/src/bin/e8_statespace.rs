@@ -1,9 +1,14 @@
 //! E8 — state-space growth: the N-thread petri composition and VM schedule
 //! exploration of the producer–consumer, versus thread count.
 
+use std::time::Instant;
+
 use jcc_core::model::examples;
-use jcc_core::petri::{JavaNet, ReachGraph, ReachLimits};
-use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Value, Vm};
+use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
+use jcc_core::vm::{
+    compile, explore, explore_portfolio, CallSpec, ExploreConfig, PortfolioConfig, ThreadSpec,
+    Value, Vm,
+};
 
 fn main() {
     println!("=== E8: state-space growth ===\n");
@@ -67,5 +72,74 @@ fn main() {
         "\n(† distinct terminal completion states after state-merging; each consumer \
          receives one character and the send provides exactly enough, so no schedule \
          deadlocks)"
+    );
+
+    println!("\n--- sequential vs parallel throughput ---");
+    // At least two workers, so the parallel engine is exercised even on a
+    // single-core host (where it can only show its overhead, not a speedup).
+    let threads = Parallelism::available().threads.max(2);
+    let parallel = Parallelism::with_threads(threads);
+    let big = JavaNet::new(6);
+    let t0 = Instant::now();
+    let seq = ReachGraph::explore(
+        big.net(),
+        ReachLimits {
+            parallelism: Parallelism::sequential(),
+            ..ReachLimits::default()
+        },
+    );
+    let seq_time = t0.elapsed();
+    let t0 = Instant::now();
+    let par = ReachGraph::explore(
+        big.net(),
+        ReachLimits {
+            parallelism: parallel,
+            ..ReachLimits::default()
+        },
+    );
+    let par_time = t0.elapsed();
+    assert_eq!(seq.stats(), par.stats(), "parallel graph must be identical");
+    println!(
+        "petri reachability (N=6, {} states): sequential {:.1?}, parallel x{} {:.1?}",
+        seq.stats().states,
+        seq_time,
+        threads,
+        par_time
+    );
+
+    let vm = Vm::new(compiled.clone(), {
+        let mut t = vec![ThreadSpec {
+            name: "p".into(),
+            calls: vec![CallSpec::new("send", vec![Value::Str("xxx".into())])],
+        }];
+        for i in 0..3 {
+            t.push(ThreadSpec {
+                name: format!("c{i}"),
+                calls: vec![CallSpec::new("receive", vec![])],
+            });
+        }
+        t
+    });
+    let t0 = Instant::now();
+    let seq = explore(vm.clone(), &ExploreConfig::default(), None);
+    let seq_time = t0.elapsed();
+    let t0 = Instant::now();
+    let par = explore_portfolio(
+        vm,
+        &PortfolioConfig {
+            explore: ExploreConfig {
+                parallelism: parallel,
+                ..ExploreConfig::default()
+            },
+            ..PortfolioConfig::default()
+        },
+    );
+    let par_time = t0.elapsed();
+    let census = par.result.expect("no early_exit: census completes");
+    assert_eq!(census.tally(), seq.tally(), "portfolio census must match");
+    println!(
+        "vm schedule portfolio (3 consumers, {} states, {} probes): sequential {:.1?}, \
+         portfolio x{} {:.1?}",
+        census.states, par.probes_run, seq_time, threads, par_time
     );
 }

@@ -7,6 +7,7 @@ use jcc_detect::classify::{classify_explore, classify_outcome, Finding};
 use jcc_model::mutate::{all_mutants, Mutation};
 use jcc_model::validate::{validate, ValidationError};
 use jcc_model::Component;
+use jcc_petri::{parallel_map, Parallelism};
 use jcc_testgen::scenario::{Scenario, ScenarioSpace};
 use jcc_testgen::signature::{enumerate_signatures, run_signature, EnumLimits};
 use jcc_testgen::suite::{greedy_cover_suite, random_suite, CoverageSuite, GreedyConfig};
@@ -99,6 +100,10 @@ pub struct MutationStudyConfig {
     pub random_seed: u64,
     /// Limits for exhaustive signature enumeration.
     pub limits: EnumLimits,
+    /// Worker threads fanning out the (mutant × scenario) matrix. Each
+    /// cell is independent, so results are identical for any thread count;
+    /// `threads = 1` runs everything on the calling thread.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MutationStudyConfig {
@@ -111,6 +116,7 @@ impl Default for MutationStudyConfig {
                 max_states: 40_000,
                 max_depth: 1_000,
             },
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -183,30 +189,30 @@ pub fn mutation_study(
     // it exhibits a behaviour the correct component *never* can — the sound
     // version of "compare with the predicted output" (comparing two single
     // runs would flag legal schedule differences as failures).
-    let correct_sig_sets: Vec<_> = directed
-        .scenarios
-        .iter()
-        .map(|s| enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits).0)
-        .collect();
+    let correct_sig_sets: Vec<_> = parallel_map(config.parallelism, &directed.scenarios, |s| {
+        enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits).0
+    });
     // For the random baseline keep the truncation flag: a truncated
     // enumeration is an *incomplete* prediction, and claiming detection
     // against it would count legal-but-unenumerated behaviours as failures.
-    let correct_random_sets: Vec<_> = random
-        .scenarios
-        .iter()
-        .map(|s| enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits))
-        .collect();
+    let correct_random_sets: Vec<_> = parallel_map(config.parallelism, &random.scenarios, |s| {
+        enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits)
+    });
 
-    let mut mutants = Vec::new();
-    for (mutation, mutant) in all_mutants(component) {
-        let Ok(mutant_compiled) = compile(&mutant) else {
+    // Fan the mutant matrix across workers: each mutant's row (exhaustive
+    // signature enumeration per directed scenario + one replayed random
+    // schedule per baseline scenario) is independent of every other row,
+    // and `parallel_map` reassembles rows positionally, so the result is
+    // identical to the sequential loop for any thread count.
+    let all: Vec<_> = all_mutants(component);
+    let mutants: Vec<MutantResult> = parallel_map(config.parallelism, &all, |(mutation, mutant)| {
+        let Ok(mutant_compiled) = compile(mutant) else {
             // A mutant that fails to compile is trivially detected.
-            mutants.push(MutantResult {
-                mutation,
+            return MutantResult {
+                mutation: mutation.clone(),
                 detected_directed: true,
                 detected_random: true,
-            });
-            continue;
+            };
         };
 
         let detected_directed = directed.scenarios.iter().zip(&correct_sig_sets).any(
@@ -239,12 +245,12 @@ pub fn mutation_study(
                     !correct_set.contains(&run_signature(&out))
                 });
 
-        mutants.push(MutantResult {
-            mutation,
+        MutantResult {
+            mutation: mutation.clone(),
             detected_directed,
             detected_random,
-        });
-    }
+        }
+    });
 
     MutationStudyResult {
         component: component.name.clone(),

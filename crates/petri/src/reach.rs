@@ -1,9 +1,22 @@
 //! Reachability analysis: exhaustive state-space exploration with
 //! configurable limits, deadlock detection and boundedness statistics.
+//!
+//! Exploration is parallel when [`ReachLimits::parallelism`] asks for more
+//! than one thread: workers share a work-stealing frontier and a seen-set
+//! sharded by marking hash, then a canonical renumbering pass rebuilds the
+//! graph in sequential-BFS discovery order, so the resulting [`ReachGraph`]
+//! is identical to the one the sequential engine produces. Exploration
+//! that would truncate (state limit or token bound) falls back to the
+//! sequential engine so truncation semantics stay exact.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::net::{Marking, Net, TransId};
+use crate::parallel::Parallelism;
 
 /// Limits on state-space exploration.
 #[derive(Debug, Clone, Copy)]
@@ -13,6 +26,10 @@ pub struct ReachLimits {
     /// Maximum token count allowed on any single place; exceeding it aborts
     /// exploration and flags the net as (probably) unbounded.
     pub max_tokens_per_place: u32,
+    /// Worker threads for the exploration. `threads = 1` runs the
+    /// sequential engine; more threads run the work-stealing engine whose
+    /// output is canonically renumbered to match the sequential graph.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ReachLimits {
@@ -20,6 +37,7 @@ impl Default for ReachLimits {
         ReachLimits {
             max_states: 1_000_000,
             max_tokens_per_place: 64,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -71,10 +89,33 @@ impl ReachGraph {
     /// Explore, but only follow firings for which `filter` returns true.
     /// Used to impose side conditions the plain net cannot express (e.g. the
     /// dashed notification arc of Figure 1).
+    ///
+    /// With `limits.parallelism.threads > 1` the state space is discovered
+    /// by parallel workers and canonically renumbered; the returned graph
+    /// is identical to the sequential one (explorations that truncate are
+    /// re-run sequentially to preserve exact truncation semantics).
     pub fn explore_filtered(
         net: &Net,
         limits: ReachLimits,
-        filter: impl Fn(&Marking, TransId) -> bool,
+        filter: impl Fn(&Marking, TransId) -> bool + Sync,
+    ) -> ReachGraph {
+        if limits.parallelism.is_sequential() {
+            return Self::explore_sequential(net, limits, &filter);
+        }
+        match Self::explore_parallel(net, limits, &filter) {
+            Some(graph) => graph,
+            // Truncated: replay sequentially so the partial graph is the
+            // exact prefix the sequential engine reports.
+            None => Self::explore_sequential(net, limits, &filter),
+        }
+    }
+
+    /// The original single-threaded BFS engine. Canonical: state IDs are
+    /// discovery order, edge lists are in transition order.
+    fn explore_sequential(
+        net: &Net,
+        limits: ReachLimits,
+        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
     ) -> ReachGraph {
         let mut markings: Vec<Marking> = Vec::new();
         let mut index: HashMap<Marking, usize> = HashMap::new();
@@ -138,6 +179,187 @@ impl ReachGraph {
             deadlocks,
             max_tokens_seen,
             truncated,
+        };
+        ReachGraph {
+            markings,
+            index,
+            edges,
+            stats,
+        }
+    }
+
+    /// Parallel discovery: work-stealing frontier + sharded seen-set, then
+    /// a canonical renumbering pass. Returns `None` when the exploration
+    /// hit a limit (caller falls back to the sequential engine for exact
+    /// truncation semantics).
+    fn explore_parallel(
+        net: &Net,
+        limits: ReachLimits,
+        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+    ) -> Option<ReachGraph> {
+        let threads = limits.parallelism.threads;
+        let shard_count = (threads * 8).next_power_of_two();
+        let shards: Vec<Mutex<HashSet<Marking>>> = (0..shard_count)
+            .map(|_| Mutex::new(HashSet::new()))
+            .collect();
+        let queues: Vec<Mutex<VecDeque<Marking>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Per-worker successor records, merged after the join.
+        let records: Vec<Mutex<Vec<(Marking, Vec<(TransId, Marking)>)>>> =
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+
+        let aborted = AtomicBool::new(false);
+        let discovered = AtomicUsize::new(1);
+        // Markings queued or currently being expanded; 0 means exploration
+        // is complete (successors are enqueued before the parent retires).
+        let pending = AtomicUsize::new(1);
+
+        let m0 = net.initial_marking();
+        shards[Self::shard_of(&m0, shard_count)]
+            .lock()
+            .expect("shard lock")
+            .insert(m0.clone());
+        queues[0].lock().expect("queue lock").push_back(m0.clone());
+
+        crossbeam::scope(|scope| {
+            for w in 0..threads {
+                let shards = &shards;
+                let queues = &queues;
+                let records = &records;
+                let aborted = &aborted;
+                let discovered = &discovered;
+                let pending = &pending;
+                scope.spawn(move || {
+                    let mut local: Vec<(Marking, Vec<(TransId, Marking)>)> = Vec::new();
+                    loop {
+                        if aborted.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Own queue first, then steal round-robin.
+                        let mut item = queues[w].lock().expect("queue lock").pop_front();
+                        if item.is_none() {
+                            for v in 1..threads {
+                                let victim = (w + v) % threads;
+                                item = queues[victim].lock().expect("queue lock").pop_back();
+                                if item.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(marking) = item else {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+
+                        let mut succs: Vec<(TransId, Marking)> = Vec::new();
+                        for t in net.transitions() {
+                            if !net.enabled(&marking, t) || !filter(&marking, t) {
+                                continue;
+                            }
+                            let next = net.fire(&marking, t).expect("enabled");
+                            let peak = next.0.iter().copied().max().unwrap_or(0);
+                            if peak > limits.max_tokens_per_place {
+                                aborted.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            let is_new = shards[Self::shard_of(&next, shard_count)]
+                                .lock()
+                                .expect("shard lock")
+                                .insert(next.clone());
+                            if is_new {
+                                if discovered.fetch_add(1, Ordering::Relaxed) + 1
+                                    > limits.max_states
+                                {
+                                    aborted.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                pending.fetch_add(1, Ordering::Release);
+                                queues[w].lock().expect("queue lock").push_back(next.clone());
+                            }
+                            succs.push((t, next));
+                        }
+                        local.push((marking, succs));
+                        pending.fetch_sub(1, Ordering::Release);
+                    }
+                    *records[w].lock().expect("record lock") = local;
+                });
+            }
+        });
+
+        if aborted.load(Ordering::Relaxed) {
+            return None;
+        }
+
+        let mut successors: HashMap<Marking, Vec<(TransId, Marking)>> = HashMap::new();
+        for record in records {
+            for (marking, succs) in record.into_inner().expect("record lock") {
+                successors.insert(marking, succs);
+            }
+        }
+        Some(Self::renumber_canonical(net, m0, &successors))
+    }
+
+    /// Shard index of a marking (hash-partitioned seen-set).
+    fn shard_of(marking: &Marking, shard_count: usize) -> usize {
+        let mut hasher = DefaultHasher::new();
+        marking.hash(&mut hasher);
+        (hasher.finish() as usize) & (shard_count - 1)
+    }
+
+    /// Rebuild the graph in canonical sequential-BFS order from the
+    /// (unordered) marking → successors map the parallel workers produced.
+    /// Successor lists are already in transition order, so assigning state
+    /// IDs by BFS discovery reproduces the sequential graph exactly.
+    fn renumber_canonical(
+        net: &Net,
+        m0: Marking,
+        successors: &HashMap<Marking, Vec<(TransId, Marking)>>,
+    ) -> ReachGraph {
+        let total = successors.len();
+        let mut markings: Vec<Marking> = Vec::with_capacity(total);
+        let mut index: HashMap<Marking, usize> = HashMap::with_capacity(total);
+        let mut edges: Vec<Vec<(TransId, usize)>> = Vec::with_capacity(total);
+        let mut queue = VecDeque::new();
+
+        let mut max_tokens_seen = m0.0.iter().copied().max().unwrap_or(0);
+        index.insert(m0.clone(), 0);
+        markings.push(m0);
+        edges.push(Vec::new());
+        queue.push_back(0usize);
+
+        while let Some(cur) = queue.pop_front() {
+            let succs = successors
+                .get(&markings[cur])
+                .expect("every discovered marking was expanded");
+            for (t, next) in succs {
+                let next_id = match index.get(next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = markings.len();
+                        max_tokens_seen =
+                            max_tokens_seen.max(next.0.iter().copied().max().unwrap_or(0));
+                        index.insert(next.clone(), id);
+                        markings.push(next.clone());
+                        edges.push(Vec::new());
+                        queue.push_back(id);
+                        id
+                    }
+                };
+                edges[cur].push((*t, next_id));
+            }
+        }
+
+        let deadlocks = markings.iter().filter(|m| net.is_deadlocked(m)).count();
+        let edge_count = edges.iter().map(Vec::len).sum();
+        let stats = ReachStats {
+            states: markings.len(),
+            edges: edge_count,
+            deadlocks,
+            max_tokens_seen,
+            truncated: None,
         };
         ReachGraph {
             markings,
@@ -305,6 +527,7 @@ mod tests {
             ReachLimits {
                 max_states: 1000,
                 max_tokens_per_place: 16,
+                ..ReachLimits::default()
             },
         );
         assert!(matches!(
@@ -322,6 +545,7 @@ mod tests {
             ReachLimits {
                 max_states: 5,
                 max_tokens_per_place: 64,
+                ..ReachLimits::default()
             },
         );
         assert_eq!(g.stats().truncated, Some(Truncation::StateLimit));
@@ -342,5 +566,98 @@ mod tests {
         for (i, m) in g.markings().iter().enumerate() {
             assert_eq!(g.state_of(m), Some(i));
         }
+    }
+
+    /// Full structural equality between two explorations (markings, edge
+    /// lists and stats — the graph's entire observable state).
+    fn assert_graphs_identical(a: &ReachGraph, b: &ReachGraph) {
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.markings(), b.markings());
+        for i in 0..a.markings().len() {
+            assert_eq!(a.successors(i), b.successors(i), "state {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_graph_is_identical_to_sequential() {
+        for threads in [2usize, 3, 8] {
+            for n in 1..=4 {
+                let j = JavaNet::new(n);
+                let seq = ReachGraph::explore(
+                    j.net(),
+                    ReachLimits {
+                        parallelism: Parallelism::sequential(),
+                        ..ReachLimits::default()
+                    },
+                );
+                let par = ReachGraph::explore(
+                    j.net(),
+                    ReachLimits {
+                        parallelism: Parallelism::with_threads(threads),
+                        ..ReachLimits::default()
+                    },
+                );
+                assert_graphs_identical(&seq, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_filtered_graph_is_identical_to_sequential() {
+        for n in 1..=3 {
+            let j = JavaNet::new(n);
+            let seq = ReachGraph::explore_filtered(
+                j.net(),
+                ReachLimits {
+                    parallelism: Parallelism::sequential(),
+                    ..ReachLimits::default()
+                },
+                j.notify_side_condition(),
+            );
+            let par = ReachGraph::explore_filtered(
+                j.net(),
+                ReachLimits {
+                    parallelism: Parallelism::with_threads(4),
+                    ..ReachLimits::default()
+                },
+                j.notify_side_condition(),
+            );
+            assert_graphs_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_truncation_falls_back_to_sequential_prefix() {
+        // Token-bound truncation: the parallel engine must report the exact
+        // sequential prefix (it re-runs sequentially on abort).
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.transition("grow", &[p], &[p, q]);
+        let net = b.build().unwrap();
+        let limits = |threads| ReachLimits {
+            max_states: 1000,
+            max_tokens_per_place: 16,
+            parallelism: Parallelism::with_threads(threads),
+        };
+        let seq = ReachGraph::explore(&net, limits(1));
+        let par = ReachGraph::explore(&net, limits(4));
+        assert_graphs_identical(&seq, &par);
+        assert!(matches!(
+            par.stats().truncated,
+            Some(Truncation::TokenBound { .. })
+        ));
+
+        // State-limit truncation likewise.
+        let j = JavaNet::new(3);
+        let limits = |threads| ReachLimits {
+            max_states: 5,
+            max_tokens_per_place: 64,
+            parallelism: Parallelism::with_threads(threads),
+        };
+        let seq = ReachGraph::explore(j.net(), limits(1));
+        let par = ReachGraph::explore(j.net(), limits(2));
+        assert_graphs_identical(&seq, &par);
+        assert_eq!(par.stats().truncated, Some(Truncation::StateLimit));
     }
 }

@@ -34,7 +34,11 @@ pub mod trace;
 pub mod value;
 
 pub use compile::{compile, CompileError, CompiledComponent};
-pub use explore::{explore, explore_observed, ExploreConfig, ExploreResult};
+pub use explore::{
+    explore, explore_observed, explore_portfolio, ExploreConfig, ExploreResult, FoundBy,
+    PortfolioConfig, PortfolioResult,
+};
+pub use jcc_petri::Parallelism;
 pub use machine::{
     CallResult, CallSpec, RunConfig, RunOutcome, Scheduler, ThreadSpec, Verdict, Vm,
 };

@@ -1,0 +1,298 @@
+//! Parallel determinism: every parallel engine must produce results
+//! *identical* to its sequential counterpart — same ReachGraph, same
+//! exploration tallies, same mutation detection matrix — for any worker
+//! count and across repeated runs. Scheduling may vary; results may not.
+//!
+//! (See DESIGN.md §4: parallel reachability renumbers canonically, the
+//! portfolio keeps the exhaustive DFS on one worker, and the mutation
+//! study fans independent matrix rows reassembled positionally.)
+
+use jcc_core::model::examples;
+use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
+use jcc_core::pipeline::{mutation_study, MutationStudyConfig, MutationStudyResult};
+use jcc_core::testgen::scenario::ScenarioSpace;
+use jcc_core::vm::{
+    compile, explore, explore_portfolio, CallSpec, ExploreConfig, PortfolioConfig, ThreadSpec,
+    Value, Vm,
+};
+
+fn limits(threads: usize) -> ReachLimits {
+    ReachLimits {
+        parallelism: Parallelism::with_threads(threads),
+        ..ReachLimits::default()
+    }
+}
+
+/// Everything observable about a reach graph, in canonical order.
+fn graph_fingerprint(g: &ReachGraph) -> (Vec<Vec<u32>>, Vec<Vec<(usize, usize)>>, Vec<usize>) {
+    let markings = g
+        .markings()
+        .iter()
+        .map(|m| m.0.to_vec())
+        .collect::<Vec<_>>();
+    let successors = (0..g.markings().len())
+        .map(|i| {
+            g.successors(i)
+                .iter()
+                .map(|(t, j)| (t.index(), *j))
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>();
+    (markings, successors, g.dead_states())
+}
+
+#[test]
+fn reach_graph_identical_across_thread_counts_and_runs() {
+    for n in 1..=3 {
+        let j = JavaNet::new(n);
+        let reference = ReachGraph::explore(j.net(), limits(1));
+        let reference_fp = graph_fingerprint(&reference);
+        for threads in [2usize, 3, 8] {
+            for run in 0..3 {
+                let g = ReachGraph::explore(j.net(), limits(threads));
+                assert_eq!(g.stats(), reference.stats(), "n={n} threads={threads}");
+                assert_eq!(
+                    graph_fingerprint(&g),
+                    reference_fp,
+                    "n={n} threads={threads} run={run}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filtered_reach_graph_identical_across_thread_counts() {
+    for n in 1..=3 {
+        let j = JavaNet::new(n);
+        let reference =
+            ReachGraph::explore_filtered(j.net(), limits(1), j.notify_side_condition());
+        for threads in [2usize, 4] {
+            let g =
+                ReachGraph::explore_filtered(j.net(), limits(threads), j.notify_side_condition());
+            assert_eq!(
+                graph_fingerprint(&g),
+                graph_fingerprint(&reference),
+                "n={n} threads={threads}"
+            );
+            assert_eq!(g.is_k_bounded(1), reference.is_k_bounded(1));
+        }
+    }
+}
+
+fn pc_vm() -> Vm {
+    let c = examples::producer_consumer();
+    Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("ab".into())])],
+            },
+        ],
+    )
+}
+
+#[test]
+fn portfolio_census_identical_across_thread_counts_and_runs() {
+    let reference = explore(pc_vm(), &ExploreConfig::default(), None);
+    for threads in [1usize, 2, 4] {
+        for run in 0..3 {
+            let p = explore_portfolio(
+                pc_vm(),
+                &PortfolioConfig {
+                    explore: ExploreConfig {
+                        parallelism: Parallelism::with_threads(threads),
+                        ..ExploreConfig::default()
+                    },
+                    ..PortfolioConfig::default()
+                },
+            );
+            let census = p.result.expect("census completes without early_exit");
+            assert_eq!(
+                census.tally(),
+                reference.tally(),
+                "threads={threads} run={run}"
+            );
+        }
+    }
+}
+
+/// Every corpus component: the portfolio census equals sequential
+/// exploration at any worker count (including scenarios that deadlock or
+/// leave waiters — their path counts must agree too).
+#[test]
+fn portfolio_census_identical_for_every_corpus_component() {
+    for (name, component) in examples::corpus() {
+        let compiled = compile(&component).unwrap();
+        let calls: Vec<CallSpec> = match name {
+            "ProducerConsumer" => vec![
+                CallSpec::new("receive", vec![]),
+                CallSpec::new("send", vec![Value::Str("a".into())]),
+            ],
+            "BoundedBuffer" => vec![
+                CallSpec::new("put", vec![Value::Int(1)]),
+                CallSpec::new("take", vec![]),
+            ],
+            "Semaphore" => vec![
+                CallSpec::new("init", vec![Value::Int(1)]),
+                CallSpec::new("acquire", vec![]),
+                CallSpec::new("release", vec![]),
+            ],
+            "ReadersWriters" => vec![
+                CallSpec::new("startRead", vec![]),
+                CallSpec::new("startWrite", vec![]),
+            ],
+            "Barrier" => vec![
+                CallSpec::new("init", vec![Value::Int(2)]),
+                CallSpec::new("await", vec![]),
+                CallSpec::new("await", vec![]),
+            ],
+            other => panic!("no scenario for {other}"),
+        };
+        let make_vm = || {
+            Vm::new(
+                compiled.clone(),
+                calls
+                    .iter()
+                    .enumerate()
+                    .map(|(i, call)| ThreadSpec {
+                        name: format!("t{i}"),
+                        calls: vec![call.clone()],
+                    })
+                    .collect(),
+            )
+        };
+        let reference = explore(make_vm(), &ExploreConfig::default(), None);
+        for threads in [2usize, 4] {
+            let p = explore_portfolio(
+                make_vm(),
+                &PortfolioConfig {
+                    explore: ExploreConfig {
+                        parallelism: Parallelism::with_threads(threads),
+                        ..ExploreConfig::default()
+                    },
+                    ..PortfolioConfig::default()
+                },
+            );
+            let census = p.result.expect("census completes without early_exit");
+            assert_eq!(
+                census.tally(),
+                reference.tally(),
+                "{name} threads={threads}"
+            );
+        }
+    }
+}
+
+fn study_config(threads: usize) -> MutationStudyConfig {
+    MutationStudyConfig {
+        parallelism: Parallelism::with_threads(threads),
+        ..MutationStudyConfig::default()
+    }
+}
+
+/// The full detection matrix, labelled, in mutant-enumeration order.
+fn detection_matrix(r: &MutationStudyResult) -> Vec<(String, bool, bool)> {
+    r.mutants
+        .iter()
+        .map(|m| (m.mutation.label(), m.detected_directed, m.detected_random))
+        .collect()
+}
+
+#[test]
+fn mutation_matrix_identical_across_thread_counts_and_runs() {
+    let c = examples::producer_consumer();
+    let space = ScenarioSpace::new(vec![
+        CallSpec::new("receive", vec![]),
+        CallSpec::new("send", vec![Value::Str("a".into())]),
+    ]);
+    let reference = mutation_study(&c, &space, &study_config(1));
+    let reference_matrix = detection_matrix(&reference);
+    for threads in [2usize, 4] {
+        for run in 0..2 {
+            let r = mutation_study(&c, &space, &study_config(threads));
+            assert_eq!(
+                detection_matrix(&r),
+                reference_matrix,
+                "threads={threads} run={run}"
+            );
+            assert_eq!(r.directed_suite_size, reference.directed_suite_size);
+            assert_eq!(r.random_suite_size, reference.random_suite_size);
+            assert_eq!(r.directed_coverage, reference.directed_coverage);
+            assert_eq!(r.random_coverage, reference.random_coverage);
+        }
+    }
+}
+
+fn space_for(name: &str) -> ScenarioSpace {
+    match name {
+        "ProducerConsumer" => ScenarioSpace::new(vec![
+            CallSpec::new("receive", vec![]),
+            CallSpec::new("send", vec![Value::Str("a".into())]),
+            CallSpec::new("send", vec![Value::Str("ab".into())]),
+        ]),
+        "BoundedBuffer" => ScenarioSpace::new(vec![
+            CallSpec::new("put", vec![Value::Int(1)]),
+            CallSpec::new("put", vec![Value::Int(2)]),
+            CallSpec::new("take", vec![]),
+        ]),
+        "Semaphore" => ScenarioSpace::new(vec![
+            CallSpec::new("init", vec![Value::Int(1)]),
+            CallSpec::new("acquire", vec![]),
+            CallSpec::new("release", vec![]),
+        ]),
+        "ReadersWriters" => ScenarioSpace::of_sessions(vec![
+            vec![
+                CallSpec::new("startRead", vec![]),
+                CallSpec::new("endRead", vec![]),
+            ],
+            vec![
+                CallSpec::new("startWrite", vec![]),
+                CallSpec::new("endWrite", vec![]),
+            ],
+        ]),
+        "Barrier" => ScenarioSpace::new(vec![
+            CallSpec::new("init", vec![Value::Int(2)]),
+            CallSpec::new("await", vec![]),
+        ]),
+        other => panic!("no scenario space for {other}"),
+    }
+}
+
+/// Stress: the parallel mutation study over the whole corpus at every
+/// worker count from 2 to 8 — no panics, no lost mutants, matrices all
+/// equal to the sequential run. Deliberately timing-free (a single-core
+/// runner must pass it too). Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "slow: full corpus x 7 thread counts"]
+fn stress_corpus_mutation_study_at_many_thread_counts() {
+    for (name, component) in examples::corpus() {
+        let space = space_for(name);
+        let expected_mutants = jcc_core::model::mutate::all_mutants(&component).len();
+        let reference = mutation_study(&component, &space, &study_config(1));
+        assert_eq!(
+            reference.mutants.len(),
+            expected_mutants,
+            "{name}: sequential study lost mutants"
+        );
+        let reference_matrix = detection_matrix(&reference);
+        for threads in 2..=8 {
+            let r = mutation_study(&component, &space, &study_config(threads));
+            assert_eq!(
+                r.mutants.len(),
+                expected_mutants,
+                "{name} threads={threads}: lost mutants"
+            );
+            assert_eq!(
+                detection_matrix(&r),
+                reference_matrix,
+                "{name} threads={threads}: matrix diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! path-replaces `crossbeam` with this crate. Scoped threads delegate to
+//! `std::thread::scope` (stable since 1.63, same structured-concurrency
+//! guarantees as `crossbeam::scope`); the spawn API is therefore the std
+//! shape — `s.spawn(|| ..)` — rather than crossbeam's `|_| ..`.
+//! `utils::CachePadded` is a faithful reimplementation used to keep
+//! per-shard locks on separate cache lines.
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+pub use thread::scope;
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes (covers the common 64-byte
+    /// line plus adjacent-line prefetchers) to avoid false sharing
+    /// between per-worker slots.
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC queue. Upstream's `SegQueue` is lock-free; this shim
+    /// is a mutexed `VecDeque` with the same push/pop interface, which is
+    /// sufficient for the coarse-grained work batches the workspace moves
+    /// through it.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+    }
+
+    #[test]
+    fn seg_queue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+}

@@ -16,6 +16,10 @@ use jcc_core::testgen::scenario::ScenarioSpace;
 use jcc_core::vm::{CallSpec, Value};
 
 fn main() {
+    let mut reporter = jcc_core::obs::BenchReporter::init("e5_mutation_study");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
     let studies: Vec<(&str, jcc_core::model::Component, ScenarioSpace)> = vec![
         (
             "ProducerConsumer",
@@ -75,9 +79,9 @@ fn main() {
     let mut grand_directed = (0usize, 0usize);
     let mut grand_random = (0usize, 0usize);
     for (name, component, space) in studies {
-        println!("================================================================");
-        println!("E5 mutation study: {name}");
-        println!("================================================================");
+        say!("================================================================");
+        say!("E5 mutation study: {name}");
+        say!("================================================================");
         let t0 = Instant::now();
         let sequential = mutation_study(&component, &space, &seq_config);
         let seq_time = t0.elapsed();
@@ -90,8 +94,8 @@ fn main() {
             "parallel study must reproduce the sequential scores"
         );
         assert_eq!(sequential.random_score(), result.random_score());
-        println!("{}", render_study(&result));
-        println!(
+        say!("{}", render_study(&result));
+        say!(
             "throughput: sequential {seq_time:.1?}, parallel x{workers} {par_time:.1?}\n"
         );
         let (dd, dt) = result.directed_score();
@@ -101,8 +105,8 @@ fn main() {
         grand_random.0 += rd;
         grand_random.1 += rt;
     }
-    println!("================================================================");
-    println!(
+    say!("================================================================");
+    say!(
         "TOTAL behavioural mutants detected — directed: {}/{} ({:.0}%), random: {}/{} ({:.0}%)",
         grand_directed.0,
         grand_directed.1,
@@ -111,4 +115,8 @@ fn main() {
         grand_random.1,
         100.0 * grand_random.0 as f64 / grand_random.1 as f64,
     );
+    reporter.set_derived("behavioural_mutants", grand_directed.1 as f64);
+    reporter.set_derived("detected_directed_total", grand_directed.0 as f64);
+    reporter.set_derived("detected_random_total", grand_random.0 as f64);
+    reporter.finish();
 }

@@ -46,7 +46,11 @@ fn expectations() -> Vec<Expectation> {
 }
 
 fn main() {
-    println!("=== E6: the completion-time oracle (ConAn technique) ===\n");
+    let mut reporter = jcc_core::obs::BenchReporter::init("e6_completion_oracle");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
+    say!("=== E6: the completion-time oracle (ConAn technique) ===\n");
     let cases: Vec<(&str, PcFaults, &str)> = vec![
         ("correct component", PcFaults::default(), "-"),
         (
@@ -75,33 +79,37 @@ fn main() {
         ),
     ];
 
+    let mut faults_flagged = 0usize;
     for (label, faults, seeded) in cases {
-        println!("--- {label} ---");
+        say!("--- {label} ---");
         let records = run_schedule(faults);
         for r in &records {
-            println!(
+            say!(
                 "  {} released t={} completed {:?}",
                 r.label, r.released_at, r.completed_at
             );
         }
         let violations = check_completions(&records, &expectations());
         if violations.is_empty() {
-            println!("  oracle: PASS (all completion times as expected)\n");
+            say!("  oracle: PASS (all completion times as expected)\n");
         } else {
+            faults_flagged += 1;
             for v in &violations {
                 let candidates: Vec<String> = v
                     .candidate_classes()
                     .iter()
                     .map(|c| c.code())
                     .collect();
-                println!(
+                say!(
                     "  oracle: FAIL on {} — {:?}; candidate classes: {}",
                     v.label,
                     v.deviation,
                     candidates.join(", ")
                 );
             }
-            println!("  seeded class: {seeded}\n");
+            say!("  seeded class: {seeded}\n");
         }
     }
+    reporter.set_derived("faults_flagged", faults_flagged as f64);
+    reporter.finish();
 }

@@ -10,10 +10,14 @@ use jcc_core::model::examples;
 use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, RunConfig, ThreadSpec, Vm};
 
 fn main() {
-    println!("=== E7: Eraser lockset + lock-order deadlock detection ===\n");
+    let mut reporter = jcc_core::obs::BenchReporter::init("e7_detectors");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
+    say!("=== E7: Eraser lockset + lock-order deadlock detection ===\n");
 
     // --- FF-T1: the racy counter ---
-    println!("--- RacyCounter (unsynchronized increment) ---");
+    say!("--- RacyCounter (unsynchronized increment) ---");
     let c = examples::racy_counter();
     let mut vm = Vm::new(
         compile(&c).unwrap(),
@@ -31,7 +35,7 @@ fn main() {
     let out = vm.run(&RunConfig::default());
     let races = LocksetAnalyzer::analyze(&from_vm_trace(&out.trace));
     for finding in classify_races(&races) {
-        println!("  {finding}");
+        say!("  {finding}");
     }
     // Interference witnessed concretely: some schedule loses an update.
     let vm2 = Vm::new(
@@ -48,14 +52,14 @@ fn main() {
         ],
     );
     let result = explore(vm2, &ExploreConfig::default(), None);
-    println!(
+    say!(
         "  exhaustive check: {} schedules complete; interference makes the final count \
          schedule-dependent (lockset flags the cause statically-on-trace)",
         result.completed_paths
     );
 
     // --- FF-T2: opposite lock orders ---
-    println!("\n--- LockOrder (forward: a then b; backward: b then a) ---");
+    say!("\n--- LockOrder (forward: a then b; backward: b then a) ---");
     let c = examples::lock_order_deadlock();
     let mut vm = Vm::new(
         compile(&c).unwrap(),
@@ -69,10 +73,10 @@ fn main() {
     );
     let out = vm.run(&RunConfig::default());
     let graph = LockOrderGraph::build(&from_vm_trace(&out.trace));
-    println!("  lock-order edges: {:?}", graph.edges());
+    say!("  lock-order edges: {:?}", graph.edges());
     let cycles = graph.cycles();
     for finding in classify_cycles(&cycles) {
-        println!("  {finding}");
+        say!("  {finding}");
     }
     // Confirm the predicted deadlock actually exists under some schedule.
     let vm2 = Vm::new(
@@ -89,9 +93,12 @@ fn main() {
         ],
     );
     let result = explore(vm2, &ExploreConfig::default(), None);
-    println!(
+    say!(
         "  exhaustive confirmation: {} of {} terminal paths deadlock (predicted by the cycle)",
         result.deadlock_paths,
         result.deadlock_paths + result.completed_paths
     );
+    reporter.set_derived("races_found", races.len() as f64);
+    reporter.set_derived("lock_order_cycles", cycles.len() as f64);
+    reporter.finish();
 }

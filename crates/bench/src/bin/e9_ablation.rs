@@ -13,6 +13,10 @@ use jcc_core::testgen::suite::GreedyConfig;
 use jcc_core::vm::{CallSpec, Value};
 
 fn main() {
+    let reporter = jcc_core::obs::BenchReporter::init("e9_ablation");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
     let studies: Vec<(&str, jcc_core::model::Component, ScenarioSpace)> = vec![
         (
             "ProducerConsumer",
@@ -34,8 +38,8 @@ fn main() {
         ),
     ];
 
-    println!("=== E9: suite-criteria ablation ===\n");
-    println!(
+    say!("=== E9: suite-criteria ablation ===\n");
+    say!(
         "{:<18} {:>16} {:>10} {:>18} {:>10}",
         "component", "arc-only kills", "scenarios", "strengthened kills", "scenarios"
     );
@@ -52,7 +56,7 @@ fn main() {
             mutation_study(&component, &space, &MutationStudyConfig::default());
         let (a, at) = arc_only.directed_score();
         let (s, st) = strengthened.directed_score();
-        println!(
+        say!(
             "{:<18} {:>12}/{:<3} {:>10} {:>14}/{:<3} {:>10}",
             name, a, at, arc_only.directed_suite_size, s, st,
             strengthened.directed_suite_size
@@ -61,7 +65,7 @@ fn main() {
         for (m_arc, m_str) in arc_only.mutants.iter().zip(&strengthened.mutants) {
             assert_eq!(m_arc.mutation, m_str.mutation);
             if !m_arc.detected_directed && m_str.detected_directed {
-                println!(
+                say!(
                     "    gained by extra goals: {} ({})",
                     m_str.mutation.label(),
                     m_str.mutation.kind.seeded_class().code()
@@ -69,8 +73,9 @@ fn main() {
             }
         }
     }
-    println!(
+    say!(
         "\n(the extra goals implement the criteria of Harvey & Strooper 2001 — the\n\
          paper's [13] — beyond the plain CoFG arc criterion of Section 6)"
     );
+    reporter.finish();
 }

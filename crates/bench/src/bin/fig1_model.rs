@@ -9,20 +9,24 @@ use jcc_core::petri::{
 };
 
 fn main() {
-    println!("=== Figure 1: petri-net model of concurrency ===\n");
+    let reporter = jcc_core::obs::BenchReporter::init("fig1_model");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
+    say!("=== Figure 1: petri-net model of concurrency ===\n");
     let j = JavaNet::new(1);
     let net = j.net();
 
-    println!(
+    say!(
         "Places ({}): A (outside), B (requesting), C (critical section), D (waiting), E (lock available)",
         net.num_places()
     );
-    println!("Transitions ({}):", net.num_transitions());
+    say!("Transitions ({}):", net.num_transitions());
     for t in Transition::ALL {
         let id = j.transition(0, t);
         let ins: Vec<&str> = net.inputs(id).iter().map(|&(p, _)| net.place_name(p)).collect();
         let outs: Vec<&str> = net.outputs(id).iter().map(|&(p, _)| net.place_name(p)).collect();
-        println!(
+        say!(
             "  {t}: {} — {} -> {}",
             t.description(),
             ins.join("+"),
@@ -30,13 +34,13 @@ fn main() {
         );
     }
 
-    println!("\n--- DOT rendering (initial marking) ---");
-    println!("{}", dot::net_to_dot(net, &net.initial_marking()));
+    say!("\n--- DOT rendering (initial marking) ---");
+    say!("{}", dot::net_to_dot(net, &net.initial_marking()));
 
-    println!("--- Reachability (1 thread, raw net) ---");
+    say!("--- Reachability (1 thread, raw net) ---");
     let g = ReachGraph::explore(net, ReachLimits::default());
     let stats = g.stats();
-    println!(
+    say!(
         "states: {}, edges: {}, deadlocks: {}, 1-bounded: {}",
         stats.states,
         stats.edges,
@@ -44,13 +48,13 @@ fn main() {
         g.is_k_bounded(1)
     );
     for (i, m) in g.markings().iter().enumerate() {
-        println!("  s{i}: {}", dot::marking_label(net, m));
+        say!("  s{i}: {}", dot::marking_label(net, m));
     }
 
-    println!("\n--- Reachability under the dashed-arc side condition ---");
+    say!("\n--- Reachability under the dashed-arc side condition ---");
     let gf = ReachGraph::explore_filtered(net, ReachLimits::default(), j.notify_side_condition());
     let dead = gf.dead_states();
-    println!(
+    say!(
         "states: {}, dead states: {} (a lone thread that waits can never be woken)",
         gf.stats().states,
         dead.len()
@@ -58,14 +62,14 @@ fn main() {
     for &s in &dead {
         let path = gf.path_to(s).unwrap();
         let names: Vec<&str> = path.iter().map(|&t| net.transition_name(t)).collect();
-        println!(
+        say!(
             "  dead: {} via firing sequence {}",
             dot::marking_label(net, &gf.markings()[s]),
             names.join(", ")
         );
     }
 
-    println!("\n--- Place invariants (P-semiflows) ---");
+    say!("\n--- Place invariants (P-semiflows) ---");
     let basis = invariant::invariant_basis(net);
     for b in &basis {
         let terms: Vec<String> = net
@@ -81,18 +85,19 @@ fn main() {
             })
             .collect();
         let value = invariant::weighted_sum(&net.initial_marking(), b);
-        println!("  {} = {value} (conserved)", terms.join(" + "));
+        say!("  {} = {value} (conserved)", terms.join(" + "));
     }
 
-    println!("\n--- N-thread composition ---");
+    say!("\n--- N-thread composition ---");
     for threads in 1..=4 {
         let jn = JavaNet::new(threads);
         let g = ReachGraph::explore(jn.net(), ReachLimits::default());
-        println!(
+        say!(
             "  {threads} thread(s): {} states, {} edges, mutex invariant holds: {}",
             g.stats().states,
             g.stats().edges,
             invariant::is_invariant(jn.net(), &jn.mutex_invariant())
         );
     }
+    reporter.finish();
 }

@@ -12,12 +12,16 @@ use jcc_core::runtime::EventLog;
 use jcc_core::vm::{compile, CallSpec, RunConfig, ThreadSpec, Value, Vm};
 
 fn main() {
-    println!("=== Figure 2: the producer-consumer monitor ===\n");
+    let reporter = jcc_core::obs::BenchReporter::init("fig2_monitor");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
+    say!("=== Figure 2: the producer-consumer monitor ===\n");
     let component = examples::producer_consumer();
-    println!("--- Monitor IR (as parsed from the DSL) ---");
-    println!("{}", print_component(&component));
+    say!("--- Monitor IR (as parsed from the DSL) ---");
+    say!("{}", print_component(&component));
 
-    println!("--- VM run: producer sends \"abc\", consumer receives 3 chars ---");
+    say!("--- VM run: producer sends \"abc\", consumer receives 3 chars ---");
     let mut vm = Vm::new(
         compile(&component).expect("compiles"),
         vec![
@@ -36,9 +40,9 @@ fn main() {
         ],
     );
     let out = vm.run(&RunConfig::default());
-    println!("verdict: {:?} in {} steps", out.verdict, out.steps);
+    say!("verdict: {:?} in {} steps", out.verdict, out.steps);
     for (thread, result) in out.all_calls() {
-        println!(
+        say!(
             "  {}: {}(..) -> {:?} (started step {}, completed {:?})",
             vm.thread_name(thread),
             result.method,
@@ -48,7 +52,7 @@ fn main() {
         );
     }
 
-    println!("\n--- Native run under the abstract clock ---");
+    say!("\n--- Native run under the abstract clock ---");
     let log = EventLog::new();
     let pc = Arc::new(ProducerConsumer::new(&log));
     let c1 = Arc::clone(&pc);
@@ -67,14 +71,14 @@ fn main() {
             assert_eq!(ch, 'i');
         });
     let (records, clock) = TestDriver::new().run(schedule);
-    println!("final clock time: {}", clock.time());
+    say!("final clock time: {}", clock.time());
     for r in &records {
-        println!(
+        say!(
             "  {} released at t={} completed at {:?}",
             r.label, r.released_at, r.completed_at
         );
     }
-    println!(
+    say!(
         "\nmonitor transitions logged natively: T1={} T2={} T3={} T4={} T5={}",
         log.count_transition(jcc_core::petri::Transition::T1),
         log.count_transition(jcc_core::petri::Transition::T2),
@@ -82,4 +86,5 @@ fn main() {
         log.count_transition(jcc_core::petri::Transition::T4),
         log.count_transition(jcc_core::petri::Transition::T5),
     );
+    reporter.finish();
 }

@@ -8,19 +8,23 @@ use jcc_core::model::examples;
 use jcc_core::report::render_cofg_arcs;
 
 fn main() {
-    println!("=== Figure 3: CoFGs for the producer-consumer monitor ===\n");
+    let reporter = jcc_core::obs::BenchReporter::init("fig3_cofg");
+    macro_rules! say {
+        ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
+    }
+    say!("=== Figure 3: CoFGs for the producer-consumer monitor ===\n");
     let component = examples::producer_consumer();
     let graphs = build_component_cofgs(&component);
 
     for g in &graphs {
-        println!("{}", render_cofg_arcs(g));
+        say!("{}", render_cofg_arcs(g));
     }
 
-    println!("--- Comparison with the published arc table ---");
+    say!("--- Comparison with the published arc table ---");
     let paper = figure3_arcs();
     for g in &graphs {
         let (matches, extra) = compare_with_figure3(g);
-        println!("{}.{}:", g.component, g.method);
+        say!("{}.{}:", g.component, g.method);
         for (pa, m) in paper.iter().zip(&matches) {
             let printed: Vec<String> = pa.printed.iter().map(|t| t.to_string()).collect();
             let verdict = match m {
@@ -39,7 +43,7 @@ fn main() {
                 }
                 ArcMatch::Missing => "MISSING".to_string(),
             };
-            println!(
+            say!(
                 "  arc {}: {} -> {} — {}",
                 pa.number,
                 pa.from.display(),
@@ -47,24 +51,25 @@ fn main() {
                 verdict
             );
         }
-        println!("  extra arcs beyond the paper's five: {extra}");
+        say!("  extra arcs beyond the paper's five: {extra}");
     }
 
     let send = &graphs[1];
     let receive = &graphs[0];
-    println!(
+    say!(
         "\nsend CoFG identical to receive CoFG (paper's claim): {}",
         receive.isomorphic(send)
     );
 
-    println!("\n--- derived test requirements (Brinch Hansen step 1) ---");
+    say!("\n--- derived test requirements (Brinch Hansen step 1) ---");
     let mut reqs = jcc_core::cofg::requirements::requirements(receive);
     reqs.extend(jcc_core::cofg::requirements::requirements(send));
-    println!(
+    say!(
         "{}",
         jcc_core::cofg::requirements::render_requirements(&reqs)
     );
 
-    println!("\n--- DOT rendering (both methods) ---");
-    println!("{}", dot::component_to_dot(&graphs));
+    say!("\n--- DOT rendering (both methods) ---");
+    say!("{}", dot::component_to_dot(&graphs));
+    reporter.finish();
 }

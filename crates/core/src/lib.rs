@@ -66,6 +66,7 @@ pub use jcc_cofg as cofg;
 pub use jcc_components as components;
 pub use jcc_detect as detect;
 pub use jcc_model as model;
+pub use jcc_obs as obs;
 pub use jcc_petri as petri;
 pub use jcc_runtime as runtime;
 pub use jcc_testgen as testgen;

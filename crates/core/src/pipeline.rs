@@ -2,6 +2,8 @@
 //! (deterministic) execution → coverage + classified failures; and the
 //! mutation study (experiment E5).
 
+use std::collections::BTreeSet;
+
 use jcc_cofg::{build_component_cofgs, Cofg};
 use jcc_detect::classify::{classify_explore, classify_outcome, Finding};
 use jcc_model::mutate::{all_mutants, Mutation};
@@ -9,7 +11,7 @@ use jcc_model::validate::{validate, ValidationError};
 use jcc_model::Component;
 use jcc_petri::{parallel_map, Parallelism};
 use jcc_testgen::scenario::{Scenario, ScenarioSpace};
-use jcc_testgen::signature::{enumerate_signatures, run_signature, EnumLimits};
+use jcc_testgen::signature::{enumerate_signatures, run_signature, EnumLimits, Signature};
 use jcc_testgen::suite::{greedy_cover_suite, random_suite, CoverageSuite, GreedyConfig};
 use jcc_vm::{compile, explore, CompiledComponent, ExploreConfig, RunConfig, RunOutcome, Scheduler, Vm};
 
@@ -28,12 +30,21 @@ impl Pipeline {
     /// Validate, compile and build CoFGs. Returns the validation errors if
     /// the component is not statically well-formed.
     pub fn new(component: Component) -> Result<Self, Vec<ValidationError>> {
-        let errors = validate(&component);
+        let errors = {
+            let _span = jcc_obs::span!("pipeline.validate");
+            validate(&component)
+        };
         if !errors.is_empty() {
             return Err(errors);
         }
-        let compiled = compile(&component).expect("validated components compile");
-        let cofgs = build_component_cofgs(&component);
+        let compiled = {
+            let _span = jcc_obs::span!("pipeline.compile");
+            compile(&component).expect("validated components compile")
+        };
+        let cofgs = {
+            let _span = jcc_obs::span!("pipeline.cofg");
+            build_component_cofgs(&component)
+        };
         Ok(Pipeline {
             component,
             compiled,
@@ -180,15 +191,18 @@ pub fn mutation_study(
     config: &MutationStudyConfig,
 ) -> MutationStudyResult {
     let pipeline = Pipeline::new(component.clone()).expect("study needs a valid component");
+    let suites_span = jcc_obs::span!("study.suites");
     let directed = pipeline.directed_suite(space, &config.greedy);
     let random_count = config.random_count.unwrap_or(directed.scenarios.len().max(1));
     let random = pipeline.random_suite(space, config.random_seed, random_count);
+    drop(suites_span);
 
     // Reference signatures of the correct component: the full set of
     // behaviours any schedule can produce. A mutant is detected only when
     // it exhibits a behaviour the correct component *never* can — the sound
     // version of "compare with the predicted output" (comparing two single
     // runs would flag legal schedule differences as failures).
+    let reference_span = jcc_obs::span!("study.reference");
     let correct_sig_sets: Vec<_> = parallel_map(config.parallelism, &directed.scenarios, |s| {
         enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits).0
     });
@@ -198,6 +212,7 @@ pub fn mutation_study(
     let correct_random_sets: Vec<_> = parallel_map(config.parallelism, &random.scenarios, |s| {
         enumerate_signatures(Vm::new(pipeline.compiled.clone(), s.clone()), config.limits)
     });
+    drop(reference_span);
 
     // Fan the mutant matrix across workers: each mutant's row (exhaustive
     // signature enumeration per directed scenario + one replayed random
@@ -205,52 +220,34 @@ pub fn mutation_study(
     // and `parallel_map` reassembles rows positionally, so the result is
     // identical to the sequential loop for any thread count.
     let all: Vec<_> = all_mutants(component);
+    let matrix_span = jcc_obs::span!("study.matrix");
     let mutants: Vec<MutantResult> = parallel_map(config.parallelism, &all, |(mutation, mutant)| {
-        let Ok(mutant_compiled) = compile(mutant) else {
-            // A mutant that fails to compile is trivially detected.
-            return MutantResult {
-                mutation: mutation.clone(),
-                detected_directed: true,
-                detected_random: true,
-            };
-        };
-
-        let detected_directed = directed.scenarios.iter().zip(&correct_sig_sets).any(
-            |(scenario, correct)| {
-                let (sigs, _) = enumerate_signatures(
-                    Vm::new(mutant_compiled.clone(), scenario.clone()),
-                    config.limits,
-                );
-                sigs != *correct
-            },
+        let started = jcc_obs::enabled().then(std::time::Instant::now);
+        let result = mutant_row(
+            mutation,
+            mutant,
+            config,
+            &directed,
+            &random,
+            &correct_sig_sets,
+            &correct_random_sets,
         );
-
-        let detected_random =
-            random
-                .scenarios
-                .iter()
-                .zip(&correct_random_sets)
-                .enumerate()
-                .any(|(i, (scenario, (correct_set, truncated)))| {
-                    if *truncated {
-                        return false; // incomplete prediction: no verdict
-                    }
-                    let mut vm = Vm::new(mutant_compiled.clone(), scenario.clone());
-                    let out = vm.run(&RunConfig {
-                        scheduler: Scheduler::Random(
-                            config.random_seed.wrapping_add(i as u64),
-                        ),
-                        max_steps: 20_000,
-                    });
-                    !correct_set.contains(&run_signature(&out))
-                });
-
-        MutantResult {
-            mutation: mutation.clone(),
-            detected_directed,
-            detected_random,
+        if let Some(t0) = started {
+            jcc_obs::global()
+                .histogram("study.mutant_nanos")
+                .record(t0.elapsed().as_nanos() as u64);
         }
+        result
     });
+    drop(matrix_span);
+    if jcc_obs::enabled() {
+        let reg = jcc_obs::global();
+        reg.counter("study.mutants").add(mutants.len() as u64);
+        reg.counter("study.detected_directed")
+            .add(mutants.iter().filter(|m| m.detected_directed).count() as u64);
+        reg.counter("study.detected_random")
+            .add(mutants.iter().filter(|m| m.detected_random).count() as u64);
+    }
 
     MutationStudyResult {
         component: component.name.clone(),
@@ -259,6 +256,64 @@ pub fn mutation_study(
         random_suite_size: random.scenarios.len(),
         random_coverage: random.coverage_ratio(),
         mutants,
+    }
+}
+
+/// One row of the mutation matrix: run `mutant` against the directed suite
+/// (exhaustive signature-set comparison) and the random baseline (one
+/// replayed schedule per scenario).
+fn mutant_row(
+    mutation: &Mutation,
+    mutant: &Component,
+    config: &MutationStudyConfig,
+    directed: &CoverageSuite,
+    random: &CoverageSuite,
+    correct_sig_sets: &[BTreeSet<Signature>],
+    correct_random_sets: &[(BTreeSet<Signature>, bool)],
+) -> MutantResult {
+    let Ok(mutant_compiled) = compile(mutant) else {
+        // A mutant that fails to compile is trivially detected.
+        return MutantResult {
+            mutation: mutation.clone(),
+            detected_directed: true,
+            detected_random: true,
+        };
+    };
+
+    let detected_directed = directed.scenarios.iter().zip(correct_sig_sets).any(
+        |(scenario, correct)| {
+            let (sigs, _) = enumerate_signatures(
+                Vm::new(mutant_compiled.clone(), scenario.clone()),
+                config.limits,
+            );
+            sigs != *correct
+        },
+    );
+
+    let detected_random =
+        random
+            .scenarios
+            .iter()
+            .zip(correct_random_sets)
+            .enumerate()
+            .any(|(i, (scenario, (correct_set, truncated)))| {
+                if *truncated {
+                    return false; // incomplete prediction: no verdict
+                }
+                let mut vm = Vm::new(mutant_compiled.clone(), scenario.clone());
+                let out = vm.run(&RunConfig {
+                    scheduler: Scheduler::Random(
+                        config.random_seed.wrapping_add(i as u64),
+                    ),
+                    max_steps: 20_000,
+                });
+                !correct_set.contains(&run_signature(&out))
+            });
+
+    MutantResult {
+        mutation: mutation.clone(),
+        detected_directed,
+        detected_random,
     }
 }
 

@@ -596,11 +596,10 @@ fn rewrite_block(block: &mut Block, is_field: &impl Fn(&str) -> bool) {
 
 fn rewrite_expr(expr: &mut Expr, is_field: &impl Fn(&str) -> bool) {
     match expr {
-        Expr::Var(name) => {
-            if is_field(name) {
+        Expr::Var(name)
+            if is_field(name) => {
                 *expr = Expr::Field(name.clone());
             }
-        }
         Expr::Unary(_, e) => rewrite_expr(e, is_field),
         Expr::Binary(_, a, b) => {
             rewrite_expr(a, is_field);

@@ -551,7 +551,7 @@ pub fn lints(component: &Component) -> Vec<Lint> {
         crate::ast::visit_stmts(&method.body, &mut |s| {
             if let Stmt::Wait { lock } = s {
                 let lname = lock.to_string();
-                if !notified.iter().any(|n| *n == lname) {
+                if !notified.contains(&lname) {
                     out.push(Lint::NoNotifierForWait {
                         method: method.name.clone(),
                         lock: lname,
@@ -593,13 +593,12 @@ pub fn lints(component: &Component) -> Vec<Lint> {
 fn lint_block(block: &Block, method: &Method, in_while: bool, out: &mut Vec<Lint>) {
     for stmt in block {
         match stmt {
-            Stmt::Wait { .. } => {
-                if !in_while {
+            Stmt::Wait { .. }
+                if !in_while => {
                     out.push(Lint::WaitNotInLoop {
                         method: method.name.clone(),
                     });
                 }
-            }
             Stmt::While { body, .. } => lint_block(body, method, true, out),
             Stmt::If {
                 then_branch,

@@ -1,0 +1,102 @@
+//! The global recording level and its `JCC_OBS` / `--quiet` parsing.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the observability layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing; every instrumentation hook is a near-free check.
+    Off,
+    /// Record metrics (counters, gauges, histograms, span timings).
+    Summary,
+    /// Record metrics plus the structured trace-event stream.
+    Trace,
+}
+
+impl ObsLevel {
+    /// Parse the `JCC_OBS` value. Unknown strings fall back to `Summary`
+    /// (the bench default), so a typo degrades loudly rather than silently
+    /// disabling observation.
+    pub fn parse(s: &str) -> ObsLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => ObsLevel::Off,
+            "trace" | "2" => ObsLevel::Trace,
+            _ => ObsLevel::Summary,
+        }
+    }
+
+    /// The level's canonical name (`off` / `summary` / `trace`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Summary => "summary",
+            ObsLevel::Trace => "trace",
+        }
+    }
+}
+
+/// 0 = off, 1 = summary, 2 = trace. Off by default: libraries and tests
+/// pay nothing unless a binary opts in.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Set the global recording level.
+pub fn set_level(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global recording level.
+pub fn level() -> ObsLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => ObsLevel::Off,
+        1 => ObsLevel::Summary,
+        _ => ObsLevel::Trace,
+    }
+}
+
+/// True when any recording is on (`summary` or `trace`). The hot-path
+/// guard: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// True when the structured trace-event stream is on.
+#[inline]
+pub fn trace_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= 2
+}
+
+/// Resolve the level a bench binary should run at: `JCC_OBS` if set,
+/// otherwise `Summary`. (`--quiet` controls printing, not the level; see
+/// [`crate::bench::BenchReporter`].)
+pub fn level_from_env() -> ObsLevel {
+    match std::env::var("JCC_OBS") {
+        Ok(v) => ObsLevel::parse(&v),
+        Err(_) => ObsLevel::Summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_spellings() {
+        assert_eq!(ObsLevel::parse("off"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("OFF"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("0"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("none"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("summary"), ObsLevel::Summary);
+        assert_eq!(ObsLevel::parse("trace"), ObsLevel::Trace);
+        assert_eq!(ObsLevel::parse(" Trace "), ObsLevel::Trace);
+        // Unknown values degrade to the default, not to off.
+        assert_eq!(ObsLevel::parse("verbose"), ObsLevel::Summary);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [ObsLevel::Off, ObsLevel::Summary, ObsLevel::Trace] {
+            assert_eq!(ObsLevel::parse(l.name()), l);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! # jcc-obs — structured tracing, metrics and machine-readable run reports
+//!
+//! A dependency-free observability layer for the exploration pipeline:
+//!
+//! * [`level`] — the global recording level ([`ObsLevel`]): `off` (the
+//!   default; every hook is a near-free atomic load), `summary` (metrics
+//!   only) or `trace` (metrics plus a structured event stream),
+//! * [`metrics`] — a registry of named [`Counter`]s, [`Gauge`]s and
+//!   log2-bucketed [`Histogram`]s; the [`global`] registry is what the
+//!   engines write to, but registries are plain values and can be local,
+//! * [`span`] — timed, nested spans ([`span_enter`] / the [`span!`] macro):
+//!   each span records its wall-clock into the `span.<name>` histogram and,
+//!   at `trace` level, emits enter/exit events,
+//! * [`trace`] — the structured event stream and its JSONL rendering,
+//! * [`json`] — a minimal JSON value type with writer and parser (the crate
+//!   registry is unreachable, so no serde),
+//! * [`report`] — the stable [`RunReport`] schema (`jcc-obs/v1`): a
+//!   snapshot of every metric plus per-phase wall-clock and derived rates,
+//!   renderable as a human summary or a JSON file,
+//! * [`bench`] — [`BenchReporter`], the front door for the `jcc-bench`
+//!   binaries: parses the shared `--quiet` / `JCC_OBS=off|summary|trace`
+//!   knob, times the run, and writes `BENCH_<bin>.json`.
+//!
+//! Determinism contract: observation never feeds back into exploration.
+//! Enabling any level changes no engine result — only what is recorded
+//! about it (asserted by `tests/obs_determinism.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use jcc_obs::{ObsLevel, Registry};
+//!
+//! // Engines use the global registry; tests can use a local one.
+//! let reg = Registry::new();
+//! let states = reg.counter("demo.states");
+//! for _ in 0..128 {
+//!     states.inc();
+//! }
+//! reg.histogram("demo.latency_ns").record(4_096);
+//! let report = jcc_obs::report::RunReport::from_registry("demo", ObsLevel::Summary, 0.5, &reg);
+//! assert_eq!(report.counters["demo.states"], 128);
+//! let json = report.to_json_string();
+//! let back = jcc_obs::report::RunReport::from_json_str(&json).unwrap();
+//! assert_eq!(back.counters["demo.states"], 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod level;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use bench::{parse_knobs, BenchReporter};
+pub use level::{enabled, level, set_level, trace_enabled, ObsLevel};
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use report::{PhaseReport, RunReport};
+pub use span::{span_enter, SpanGuard};
+pub use trace::{drain_trace, trace_event, TraceRecord};
+
+/// Open a timed span: `let _g = jcc_obs::span!("petri.reach");`.
+///
+/// The guard records the span's wall-clock into the `span.<name>` histogram
+/// of the global registry when it drops; at `trace` level it also emits
+/// enter/exit events. When the level is `off` the macro costs one relaxed
+/// atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_enter($name)
+    };
+}
+
+/// Emit a structured trace event (recorded only at `trace` level):
+/// `jcc_obs::event!("probe.failure"; "seed" => seed, "verdict" => v)`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::trace_event($name, Vec::new())
+    };
+    ($name:expr; $($key:expr => $value:expr),+ $(,)?) => {
+        if $crate::trace_enabled() {
+            $crate::trace_event(
+                $name,
+                vec![$(($key.to_string(), format!("{}", $value))),+],
+            );
+        }
+    };
+}

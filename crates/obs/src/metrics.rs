@@ -1,0 +1,379 @@
+//! The metrics registry: named counters, gauges and log2-bucketed
+//! histograms.
+//!
+//! Handles are `Arc`-shared atomics, so instrumented code resolves a name
+//! once (outside its hot loop) and then increments lock-free. Concurrent
+//! increments are exact: totals are deterministic for any interleaving.
+//! [`Registry::reset`] zeroes values *in place* — existing handles stay
+//! valid, which lets long-lived instrumentation cache them across runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge with a high-water helper.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is higher (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: values 0, 1, 2–3, 4–7, … up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// An HDR-style histogram with power-of-two buckets: bucket 0 holds the
+/// value 0, bucket `i` (i ≥ 1) holds values whose highest set bit is
+/// `i - 1`, i.e. the range `[2^(i-1), 2^i)`. Exact count/sum/min/max are
+/// kept alongside, all lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// An immutable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(bucket index, count)` pairs.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound of bucket `i` (inverse of the bucketing function).
+    pub fn bucket_floor(i: u32) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n != 0).then_some((i as u32, n))
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A named-metric registry. Cheap to clone (shared handle). The engines
+/// write to [`global()`]; tests can use private instances.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("counter map");
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::default();
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge map");
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::default();
+                map.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().expect("histogram map");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// All counters as `(name, value)`, name-sorted, zero values included.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .expect("counter map")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges as `(name, value)`, name-sorted.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauge map")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms as `(name, snapshot)`, name-sorted.
+    pub fn histogram_values(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("histogram map")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Zero every metric in place. Handles resolved before the reset keep
+    /// working (they share the same atomics).
+    pub fn reset(&self) {
+        for (_, c) in self.inner.counters.lock().expect("counter map").iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for (_, g) in self.inner.gauges.lock().expect("gauge map").iter() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for (_, h) in self.inner.histograms.lock().expect("histogram map").iter() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry the engines write to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_concurrent_increments_are_exact() {
+        let reg = Registry::new();
+        let c = reg.counter("t");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(reg.counter("t").get(), 80_000, "same name, same atomic");
+    }
+
+    #[test]
+    fn histogram_concurrent_records_are_exact() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4_000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 3_999);
+        assert_eq!(snap.sum, (0..4_000u64).sum::<u64>());
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucket_total, 4_000, "every record lands in one bucket");
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // 0 -> b0; 1 -> b1; 2,3 -> b2; 4,7 -> b3; 8 -> b4; 1024 -> b11.
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (11, 1)]
+        );
+        for (i, _) in snap.buckets {
+            assert!(Histogram::bucket_floor(i) <= snap.max);
+        }
+        assert_eq!(Histogram::bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn reset_keeps_handles_valid() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        let h = reg.histogram("y");
+        c.add(10);
+        h.record(3);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        c.inc();
+        h.record(1);
+        assert_eq!(reg.counter("x").get(), 1, "old handle still wired in");
+        assert_eq!(h.snapshot().min, 1, "min re-arms after reset");
+    }
+
+    #[test]
+    fn values_are_name_sorted() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").inc();
+        let names: Vec<String> = reg.counter_values().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,393 @@
+//! The stable machine-readable run report (`jcc-obs/v1`).
+//!
+//! A [`RunReport`] is a complete snapshot of a run: every counter and
+//! gauge, per-phase wall-clock (one [`PhaseReport`] per `span.*`
+//! histogram), non-span histograms, and derived rates the producing binary
+//! computed (e.g. `states_per_sec`). It renders as pretty JSON (the
+//! `BENCH_<bin>.json` files), parses back losslessly, and has a
+//! human-readable summary form.
+
+use std::collections::BTreeMap;
+
+use crate::json::{Json, ParseError};
+use crate::level::ObsLevel;
+use crate::metrics::{Histogram, HistogramSnapshot, Registry};
+
+/// The schema identifier written into every report.
+pub const SCHEMA: &str = "jcc-obs/v1";
+
+/// Wall-clock of one phase (span), aggregated over its occurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Span name (without the `span.` prefix).
+    pub name: String,
+    /// Times the span ran.
+    pub count: u64,
+    /// Total wall-clock across occurrences, in seconds.
+    pub total_seconds: f64,
+    /// Shortest single occurrence, nanoseconds.
+    pub min_nanos: u64,
+    /// Longest single occurrence, nanoseconds.
+    pub max_nanos: u64,
+    /// Non-empty log2 latency buckets as `(bucket, count)`;
+    /// [`Histogram::bucket_floor`] gives a bucket's lower bound in ns.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl PhaseReport {
+    fn from_snapshot(name: &str, snap: &HistogramSnapshot) -> PhaseReport {
+        PhaseReport {
+            name: name.to_string(),
+            count: snap.count,
+            total_seconds: snap.sum as f64 / 1e9,
+            min_nanos: snap.min,
+            max_nanos: snap.max,
+            buckets: snap.buckets.clone(),
+        }
+    }
+}
+
+/// A machine-readable report of one run. See the module docs for the
+/// schema; field order below matches the rendered JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Always [`SCHEMA`] when produced by this crate version.
+    pub schema: String,
+    /// The producing binary (e.g. `e8_statespace`).
+    pub bin: String,
+    /// Recording level the run used.
+    pub level: String,
+    /// Total run wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Every counter, name-sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Every gauge, name-sorted.
+    pub gauges: BTreeMap<String, u64>,
+    /// Per-phase wall-clock (from `span.*` histograms), name-sorted.
+    pub phases: Vec<PhaseReport>,
+    /// Non-span histograms, name-sorted.
+    pub histograms: Vec<PhaseReport>,
+    /// Derived rates/ratios computed by the producing binary.
+    pub derived: BTreeMap<String, f64>,
+}
+
+impl RunReport {
+    /// Snapshot `registry` into a report.
+    pub fn from_registry(
+        bin: &str,
+        level: ObsLevel,
+        wall_seconds: f64,
+        registry: &Registry,
+    ) -> RunReport {
+        let mut phases = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, snap) in registry.histogram_values() {
+            match name.strip_prefix("span.") {
+                Some(span_name) => phases.push(PhaseReport::from_snapshot(span_name, &snap)),
+                None => histograms.push(PhaseReport::from_snapshot(&name, &snap)),
+            }
+        }
+        RunReport {
+            schema: SCHEMA.to_string(),
+            bin: bin.to_string(),
+            level: level.name().to_string(),
+            wall_seconds,
+            counters: registry.counter_values().into_iter().collect(),
+            gauges: registry.gauge_values().into_iter().collect(),
+            phases,
+            histograms,
+            derived: BTreeMap::new(),
+        }
+    }
+
+    /// Record a derived value (rate, ratio, percentage).
+    pub fn set_derived(&mut self, name: &str, value: f64) {
+        self.derived.insert(name.to_string(), value);
+    }
+
+    /// Convenience: the counter's value, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Serialize to the report's JSON value.
+    pub fn to_json(&self) -> Json {
+        let phase_arr = |items: &[PhaseReport]| {
+            Json::Arr(
+                items
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("name".to_string(), Json::Str(p.name.clone())),
+                            ("count".to_string(), Json::Num(p.count as f64)),
+                            (
+                                "total_seconds".to_string(),
+                                Json::Num(p.total_seconds),
+                            ),
+                            ("min_nanos".to_string(), Json::Num(p.min_nanos as f64)),
+                            ("max_nanos".to_string(), Json::Num(p.max_nanos as f64)),
+                            (
+                                "buckets".to_string(),
+                                Json::Arr(
+                                    p.buckets
+                                        .iter()
+                                        .map(|&(i, n)| {
+                                            Json::Arr(vec![
+                                                Json::Num(i as f64),
+                                                Json::Num(n as f64),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let num_map = |m: &BTreeMap<String, u64>| {
+            Json::obj(m.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))))
+        };
+        Json::obj([
+            ("schema".to_string(), Json::Str(self.schema.clone())),
+            ("bin".to_string(), Json::Str(self.bin.clone())),
+            ("level".to_string(), Json::Str(self.level.clone())),
+            ("wall_seconds".to_string(), Json::Num(self.wall_seconds)),
+            ("counters".to_string(), num_map(&self.counters)),
+            ("gauges".to_string(), num_map(&self.gauges)),
+            ("phases".to_string(), phase_arr(&self.phases)),
+            ("histograms".to_string(), phase_arr(&self.histograms)),
+            (
+                "derived".to_string(),
+                Json::obj(
+                    self.derived
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Num(v))),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialize to pretty JSON — the `BENCH_<bin>.json` file format.
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Parse a report back from its JSON text, checking the schema tag.
+    pub fn from_json_str(text: &str) -> Result<RunReport, ParseError> {
+        let v = Json::parse(text)?;
+        Self::from_json(&v).ok_or(ParseError {
+            message: format!("not a {SCHEMA} report"),
+            offset: 0,
+        })
+    }
+
+    /// Parse a report from a JSON value. `None` when the shape or schema
+    /// tag is wrong.
+    pub fn from_json(v: &Json) -> Option<RunReport> {
+        let schema = v.get("schema")?.as_str()?;
+        if schema != SCHEMA {
+            return None;
+        }
+        let num_map = |key: &str| -> Option<BTreeMap<String, u64>> {
+            match v.get(key)? {
+                Json::Obj(map) => map
+                    .iter()
+                    .map(|(k, val)| Some((k.clone(), val.as_u64()?)))
+                    .collect(),
+                _ => None,
+            }
+        };
+        let phase_vec = |key: &str| -> Option<Vec<PhaseReport>> {
+            v.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|p| {
+                    Some(PhaseReport {
+                        name: p.get("name")?.as_str()?.to_string(),
+                        count: p.get("count")?.as_u64()?,
+                        total_seconds: p.get("total_seconds")?.as_f64()?,
+                        min_nanos: p.get("min_nanos")?.as_u64()?,
+                        max_nanos: p.get("max_nanos")?.as_u64()?,
+                        buckets: p
+                            .get("buckets")?
+                            .as_arr()?
+                            .iter()
+                            .map(|b| {
+                                let pair = b.as_arr()?;
+                                Some((pair.first()?.as_u64()? as u32, pair.get(1)?.as_u64()?))
+                            })
+                            .collect::<Option<Vec<_>>>()?,
+                    })
+                })
+                .collect()
+        };
+        Some(RunReport {
+            schema: schema.to_string(),
+            bin: v.get("bin")?.as_str()?.to_string(),
+            level: v.get("level")?.as_str()?.to_string(),
+            wall_seconds: v.get("wall_seconds")?.as_f64()?,
+            counters: num_map("counters")?,
+            gauges: num_map("gauges")?,
+            phases: phase_vec("phases")?,
+            histograms: phase_vec("histograms")?,
+            derived: match v.get("derived")? {
+                Json::Obj(map) => map
+                    .iter()
+                    .map(|(k, val)| Some((k.clone(), val.as_f64()?)))
+                    .collect::<Option<BTreeMap<_, _>>>()?,
+                _ => return None,
+            },
+        })
+    }
+
+    /// The human-readable summary the bench binaries print.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "── obs summary: {} ({}, {:.3}s) ──",
+            self.bin, self.level, self.wall_seconds
+        );
+        if !self.derived.is_empty() {
+            let _ = writeln!(out, "derived:");
+            for (k, v) in &self.derived {
+                let _ = writeln!(out, "  {k:<40} {v:.1}");
+            }
+        }
+        let nonzero: Vec<_> = self.counters.iter().filter(|(_, &v)| v != 0).collect();
+        if !nonzero.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in nonzero {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        let nonzero: Vec<_> = self.gauges.iter().filter(|(_, &v)| v != 0).collect();
+        if !nonzero.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in nonzero {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "phases (wall-clock):");
+            for p in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>4}x {:>10.3}s (max {:.3}ms)",
+                    p.name,
+                    p.count,
+                    p.total_seconds,
+                    p.max_nanos as f64 / 1e6
+                );
+            }
+        }
+        out
+    }
+
+    /// Write the report to `path` as pretty JSON.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Approximate p-th percentile (0–100) of a phase's latency from its
+    /// log2 buckets: the lower bound of the bucket holding that rank.
+    pub fn phase_percentile_nanos(phase: &PhaseReport, p: f64) -> u64 {
+        let rank = (phase.count as f64 * p / 100.0).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(bucket, n) in &phase.buckets {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_floor(bucket);
+            }
+        }
+        phase.max_nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let reg = Registry::new();
+        reg.counter("vm.explore.states").add(23_122);
+        reg.counter("transition.T1").add(17);
+        reg.gauge("petri.reach.frontier_peak").set_max(96);
+        reg.histogram("span.explore").record(1_500_000);
+        reg.histogram("span.explore").record(3_000_000);
+        reg.histogram("probe.steps").record(42);
+        let mut r = RunReport::from_registry("e8_statespace", ObsLevel::Summary, 1.25, &reg);
+        r.set_derived("states_per_sec", 18_497.6);
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_tag_is_checked() {
+        let text = sample_report()
+            .to_json_string()
+            .replace("jcc-obs/v1", "jcc-obs/v0");
+        assert!(RunReport::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn spans_become_phases_and_keep_buckets() {
+        let r = sample_report();
+        assert_eq!(r.phases.len(), 1);
+        let p = &r.phases[0];
+        assert_eq!(p.name, "explore");
+        assert_eq!(p.count, 2);
+        assert!((p.total_seconds - 0.0045).abs() < 1e-9);
+        assert!(!p.buckets.is_empty());
+        assert_eq!(r.histograms.len(), 1, "non-span histogram kept separately");
+        assert_eq!(r.histograms[0].name, "probe.steps");
+    }
+
+    #[test]
+    fn counter_helpers() {
+        let r = sample_report();
+        assert_eq!(r.counter("vm.explore.states"), 23_122);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.counter_prefix_sum("transition."), 17);
+    }
+
+    #[test]
+    fn summary_mentions_key_facts() {
+        let r = sample_report();
+        let text = r.render_summary();
+        assert!(text.contains("e8_statespace"));
+        assert!(text.contains("states_per_sec"));
+        assert!(text.contains("vm.explore.states"));
+        assert!(text.contains("explore"));
+    }
+
+    #[test]
+    fn percentile_from_buckets() {
+        let r = sample_report();
+        let p = &r.phases[0];
+        let p50 = RunReport::phase_percentile_nanos(p, 50.0);
+        let p100 = RunReport::phase_percentile_nanos(p, 100.0);
+        assert!(p50 <= p100);
+        assert!(p100 <= p.max_nanos.max(1));
+    }
+}

@@ -1,0 +1,174 @@
+//! The structured trace-event stream (recorded at `trace` level) and its
+//! JSONL rendering.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::level::trace_enabled;
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Microseconds since the process's trace epoch.
+    pub ts_micros: u64,
+    /// What happened: `span_enter` / `span_exit` / a user event name.
+    pub name: String,
+    /// Span nesting depth on the recording thread at emission time.
+    pub depth: u32,
+    /// Free-form `(key, value)` fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TraceRecord {
+    /// Render as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ts_micros".to_string(), Json::Num(self.ts_micros as f64)),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("depth".to_string(), Json::Num(self.depth as f64)),
+            (
+                "fields".to_string(),
+                Json::obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone()))),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse one JSONL line back into a record.
+    pub fn from_json(v: &Json) -> Option<TraceRecord> {
+        let fields = match v.get("fields") {
+            Some(Json::Obj(map)) => map
+                .iter()
+                .map(|(k, val)| (k.clone(), val.as_str().unwrap_or_default().to_string()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Some(TraceRecord {
+            ts_micros: v.get("ts_micros")?.as_u64()?,
+            name: v.get("name")?.as_str()?.to_string(),
+            depth: v.get("depth")?.as_u64()? as u32,
+            fields,
+        })
+    }
+}
+
+/// Cap on buffered trace records; beyond it, new records are counted but
+/// dropped (the drop count is reported by [`drain_trace`]).
+pub const TRACE_CAPACITY: usize = 1 << 20;
+
+struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+fn buffer() -> &'static Mutex<TraceBuffer> {
+    static BUFFER: OnceLock<Mutex<TraceBuffer>> = OnceLock::new();
+    BUFFER.get_or_init(|| {
+        Mutex::new(TraceBuffer {
+            records: Vec::new(),
+            dropped: 0,
+        })
+    })
+}
+
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+pub(crate) fn push_record(name: &str, depth: u32, fields: Vec<(String, String)>) {
+    let ts_micros = epoch().elapsed().as_micros() as u64;
+    let mut buf = buffer().lock().expect("trace buffer");
+    if buf.records.len() >= TRACE_CAPACITY {
+        buf.dropped += 1;
+        return;
+    }
+    buf.records.push(TraceRecord {
+        ts_micros,
+        name: name.to_string(),
+        depth,
+        fields,
+    });
+}
+
+/// Record a user trace event (no-op below `trace` level). Prefer the
+/// [`crate::event!`] macro, which skips evaluating its fields when off.
+pub fn trace_event(name: &str, fields: Vec<(String, String)>) {
+    if trace_enabled() {
+        push_record(name, crate::span::current_depth(), fields);
+    }
+}
+
+/// Take all buffered records (and the overflow-drop count), leaving the
+/// buffer empty.
+pub fn drain_trace() -> (Vec<TraceRecord>, u64) {
+    let mut buf = buffer().lock().expect("trace buffer");
+    let dropped = buf.dropped;
+    buf.dropped = 0;
+    (std::mem::take(&mut buf.records), dropped)
+}
+
+/// Render records as JSONL (one compact JSON object per line).
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json().to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL document produced by [`to_jsonl`].
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, crate::json::ParseError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line)?;
+        out.push(TraceRecord::from_json(&v).ok_or(crate::json::ParseError {
+            message: "not a trace record".to_string(),
+            offset: 0,
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip() {
+        let records = vec![
+            TraceRecord {
+                ts_micros: 10,
+                name: "span_enter".into(),
+                depth: 0,
+                fields: vec![("span".into(), "petri.reach".into())],
+            },
+            TraceRecord {
+                ts_micros: 52,
+                name: "probe.failure".into(),
+                depth: 1,
+                fields: vec![
+                    ("seed".into(), "24301".into()),
+                    ("verdict".into(), "Deadlock".into()),
+                ],
+            },
+        ];
+        let text = to_jsonl(&records);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(from_jsonl(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn from_jsonl_skips_blank_lines_rejects_garbage() {
+        assert_eq!(from_jsonl("\n\n").unwrap(), vec![]);
+        assert!(from_jsonl("{not json}\n").is_err());
+    }
+}

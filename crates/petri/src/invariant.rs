@@ -102,13 +102,14 @@ fn null_space(mut rows: Vec<Vec<i64>>, n_cols: usize) -> Vec<Vec<i64>> {
         };
         rows.swap(rank, pivot);
         let pivot_val = rows[rank][col];
-        for r in 0..n_trans {
-            if r != rank && rows[r][col] != 0 {
-                let factor = rows[r][col];
-                for c in 0..n_places {
-                    rows[r][c] = rows[r][c] * pivot_val - rows[rank][c] * factor;
+        let pivot_row = rows[rank].clone();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != rank && row[col] != 0 {
+                let factor = row[col];
+                for (cell, &p) in row.iter_mut().zip(&pivot_row) {
+                    *cell = *cell * pivot_val - p * factor;
                 }
-                normalize_row(&mut rows[r]);
+                normalize_row(row);
             }
         }
         pivot_col_of_row.push(col);

@@ -75,10 +75,18 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    if jcc_obs::enabled() {
+        let reg = jcc_obs::global();
+        reg.counter("petri.parallel_map.calls").inc();
+        reg.counter("petri.parallel_map.items")
+            .add(items.len() as u64);
+    }
     let workers = parallelism.threads.min(items.len().max(1));
     if workers <= 1 {
+        let _span = jcc_obs::span!("petri.parallel_map.sequential");
         return items.iter().map(f).collect();
     }
+    let _span = jcc_obs::span!("petri.parallel_map");
 
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Mutex<Option<U>>> = Vec::with_capacity(items.len());

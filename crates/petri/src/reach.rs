@@ -8,6 +8,13 @@
 //! is identical to the one the sequential engine produces. Exploration
 //! that would truncate (state limit or token bound) falls back to the
 //! sequential engine so truncation semantics stay exact.
+//!
+//! When `jcc-obs` recording is enabled, both engines publish
+//! `petri.reach.*` metrics (states, edges, deadlocks, dedup hits, frontier
+//! high-water, steals, truncations) and time themselves under
+//! `span.petri.reach.*`. Tallies are accumulated in plain locals and
+//! flushed once per exploration, so the hot loop is untouched and totals
+//! are deterministic; observation never changes the resulting graph.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -117,6 +124,9 @@ impl ReachGraph {
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
     ) -> ReachGraph {
+        let _span = jcc_obs::span!("petri.reach.sequential");
+        let mut dedup_hits: u64 = 0;
+        let mut frontier_peak: usize = 0;
         let mut markings: Vec<Marking> = Vec::new();
         let mut index: HashMap<Marking, usize> = HashMap::new();
         let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
@@ -132,6 +142,7 @@ impl ReachGraph {
         queue.push_back(0usize);
 
         'outer: while let Some(cur) = queue.pop_front() {
+            frontier_peak = frontier_peak.max(queue.len() + 1);
             let marking = markings[cur].clone();
             for t in net.transitions() {
                 if !net.enabled(&marking, t) || !filter(&marking, t) {
@@ -150,7 +161,10 @@ impl ReachGraph {
                 }
                 max_tokens_seen = max_tokens_seen.max(peak);
                 let next_id = match index.get(&next) {
-                    Some(&id) => id,
+                    Some(&id) => {
+                        dedup_hits += 1;
+                        id
+                    }
                     None => {
                         if markings.len() >= limits.max_states {
                             truncated = Some(Truncation::StateLimit);
@@ -180,11 +194,32 @@ impl ReachGraph {
             max_tokens_seen,
             truncated,
         };
+        if jcc_obs::enabled() {
+            let reg = jcc_obs::global();
+            reg.counter("petri.reach.dedup_hits").add(dedup_hits);
+            reg.gauge("petri.reach.frontier_peak")
+                .set_max(frontier_peak as u64);
+            Self::flush_stats(&stats);
+        }
         ReachGraph {
             markings,
             index,
             edges,
             stats,
+        }
+    }
+
+    /// Publish an exploration's summary statistics to the global registry.
+    /// Called once per engine run, never from the hot loop.
+    fn flush_stats(stats: &ReachStats) {
+        let reg = jcc_obs::global();
+        reg.counter("petri.reach.explorations").inc();
+        reg.counter("petri.reach.states").add(stats.states as u64);
+        reg.counter("petri.reach.edges").add(stats.edges as u64);
+        reg.counter("petri.reach.deadlocks")
+            .add(stats.deadlocks as u64);
+        if stats.truncated.is_some() {
+            reg.counter("petri.reach.truncations").inc();
         }
     }
 
@@ -197,6 +232,11 @@ impl ReachGraph {
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
     ) -> Option<ReachGraph> {
+        let _span = jcc_obs::span!("petri.reach.parallel");
+        // Worker-local tallies land here once per worker; flushed to the
+        // global registry after the join so totals are deterministic.
+        let total_steals = AtomicUsize::new(0);
+        let total_dedup_hits = AtomicUsize::new(0);
         let threads = limits.parallelism.threads;
         let shard_count = (threads * 8).next_power_of_two();
         let shards: Vec<Mutex<HashSet<Marking>>> = (0..shard_count)
@@ -205,7 +245,8 @@ impl ReachGraph {
         let queues: Vec<Mutex<VecDeque<Marking>>> =
             (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
         // Per-worker successor records, merged after the join.
-        let records: Vec<Mutex<Vec<(Marking, Vec<(TransId, Marking)>)>>> =
+        type SuccessorRecord = (Marking, Vec<(TransId, Marking)>);
+        let records: Vec<Mutex<Vec<SuccessorRecord>>> =
             (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
         let aborted = AtomicBool::new(false);
@@ -229,7 +270,11 @@ impl ReachGraph {
                 let aborted = &aborted;
                 let discovered = &discovered;
                 let pending = &pending;
+                let total_steals = &total_steals;
+                let total_dedup_hits = &total_dedup_hits;
                 scope.spawn(move || {
+                    let mut steals: usize = 0;
+                    let mut dedup_hits: usize = 0;
                     let mut local: Vec<(Marking, Vec<(TransId, Marking)>)> = Vec::new();
                     loop {
                         if aborted.load(Ordering::Relaxed) {
@@ -242,6 +287,7 @@ impl ReachGraph {
                                 let victim = (w + v) % threads;
                                 item = queues[victim].lock().expect("queue lock").pop_back();
                                 if item.is_some() {
+                                    steals += 1;
                                     break;
                                 }
                             }
@@ -278,6 +324,8 @@ impl ReachGraph {
                                 }
                                 pending.fetch_add(1, Ordering::Release);
                                 queues[w].lock().expect("queue lock").push_back(next.clone());
+                            } else {
+                                dedup_hits += 1;
                             }
                             succs.push((t, next));
                         }
@@ -285,11 +333,21 @@ impl ReachGraph {
                         pending.fetch_sub(1, Ordering::Release);
                     }
                     *records[w].lock().expect("record lock") = local;
+                    total_steals.fetch_add(steals, Ordering::Relaxed);
+                    total_dedup_hits.fetch_add(dedup_hits, Ordering::Relaxed);
                 });
             }
         });
 
+        if jcc_obs::enabled() {
+            let reg = jcc_obs::global();
+            reg.counter("petri.reach.steals")
+                .add(total_steals.load(Ordering::Relaxed) as u64);
+            reg.counter("petri.reach.dedup_hits")
+                .add(total_dedup_hits.load(Ordering::Relaxed) as u64);
+        }
         if aborted.load(Ordering::Relaxed) {
+            jcc_obs::event!("petri.reach.parallel_abort"; "reason" => "limit hit, sequential replay");
             return None;
         }
 
@@ -318,6 +376,7 @@ impl ReachGraph {
         m0: Marking,
         successors: &HashMap<Marking, Vec<(TransId, Marking)>>,
     ) -> ReachGraph {
+        let _span = jcc_obs::span!("petri.reach.renumber");
         let total = successors.len();
         let mut markings: Vec<Marking> = Vec::with_capacity(total);
         let mut index: HashMap<Marking, usize> = HashMap::with_capacity(total);
@@ -361,6 +420,9 @@ impl ReachGraph {
             max_tokens_seen,
             truncated: None,
         };
+        if jcc_obs::enabled() {
+            Self::flush_stats(&stats);
+        }
         ReachGraph {
             markings,
             index,
@@ -439,6 +501,50 @@ impl ReachGraph {
     /// within `bound` (k-boundedness over the explored portion).
     pub fn is_k_bounded(&self, bound: u32) -> bool {
         self.stats.truncated.is_none() && self.stats.max_tokens_seen <= bound
+    }
+
+    /// Per-transition firing counts over the explored graph: how many
+    /// discovered edges fire each transition, indexed by [`TransId`].
+    /// The evidence behind Table-1 claims about which transitions a
+    /// composition can actually exercise.
+    pub fn firing_counts(&self, net: &Net) -> Vec<(TransId, usize)> {
+        let mut counts: Vec<usize> = vec![0; net.num_transitions()];
+        for edges in &self.edges {
+            for &(t, _) in edges {
+                counts[t.index()] += 1;
+            }
+        }
+        net.transitions()
+            .map(|t| (t, counts[t.index()]))
+            .collect()
+    }
+
+    /// [`ReachGraph::firing_counts`] aggregated by the transition's *kind*
+    /// — the name up to the first `#` or `.` (the per-thread copies of a
+    /// Figure-1 transition share a kind, e.g. `T3#0`/`T3#1` → `T3`).
+    /// Counts are also published to the global obs registry as
+    /// `petri.firing.<kind>` when recording is enabled.
+    pub fn firing_counts_by_kind(&self, net: &Net) -> Vec<(String, usize)> {
+        let mut by_kind: Vec<(String, usize)> = Vec::new();
+        for (t, n) in self.firing_counts(net) {
+            let name = net.transition_name(t);
+            let kind = name
+                .split(['#', '.'])
+                .next()
+                .unwrap_or(name)
+                .to_string();
+            match by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, total)) => *total += n,
+                None => by_kind.push((kind, n)),
+            }
+        }
+        if jcc_obs::enabled() {
+            let reg = jcc_obs::global();
+            for (kind, n) in &by_kind {
+                reg.counter(&format!("petri.firing.{kind}")).add(*n as u64);
+            }
+        }
+        by_kind
     }
 }
 

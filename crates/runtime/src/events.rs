@@ -1,6 +1,19 @@
 //! The shared event log: every monitor operation, data access and coverage
 //! marker, in one global order (per log).
+//!
+//! Thread identity is **per log**: the first thread to log into an
+//! [`EventLog`] gets id 1, the second id 2, and so on, regardless of how
+//! many threads earlier tests or suites spun up. (The process-wide token
+//! behind [`current_thread_id`] still exists — monitors use it for
+//! ownership checks — but it never leaks into logged events, so obs
+//! snapshots and cross-test comparisons see stable ids.)
+//!
+//! When `jcc-obs` recording is enabled, every logged event is bridged into
+//! the global metrics registry (`runtime.events`, `runtime.transition.T*`,
+//! notify/lost-notification tallies) and, at `trace` level, into the
+//! structured trace stream.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -18,7 +31,10 @@ thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
 }
 
-/// A small dense id for the current OS thread, stable for its lifetime.
+/// A process-wide token for the current OS thread, stable for its
+/// lifetime. Used by monitors for ownership checks; event logs map it to a
+/// dense per-log id (see the module docs), so this value never appears in
+/// [`Event::thread`].
 pub fn current_thread_id() -> u64 {
     THREAD_ID.with(|id| *id)
 }
@@ -71,7 +87,10 @@ pub enum EventKind {
 pub struct Event {
     /// Global sequence number within the log (0-based, gap-free).
     pub seq: u64,
-    /// The logging thread (see [`current_thread_id`]).
+    /// The logging thread as a dense per-log id: 1 for the first thread to
+    /// log into this [`EventLog`], 2 for the second, … (stable across test
+    /// orderings; see the module docs). Events appended with
+    /// [`EventLog::log_as`] carry the caller's explicit id instead.
     pub thread: u64,
     /// The monitor involved, if any ([`MonitorId(0)`](MonitorId) is used for
     /// monitor-less events such as markers and unsynchronized accesses).
@@ -84,6 +103,8 @@ pub struct Event {
 struct LogInner {
     events: Vec<Event>,
     monitor_names: Vec<String>,
+    /// Process-wide thread token → dense per-log id, in first-log order.
+    thread_ids: HashMap<u64, u64>,
 }
 
 /// A shared, append-only event log. Cheap to clone (shared handle).
@@ -114,16 +135,30 @@ impl EventLog {
         self.inner.lock().monitor_names[(id.0 - 1) as usize].clone()
     }
 
-    /// Append an event from the current thread.
+    /// Append an event from the current thread. The event's thread id is
+    /// the current thread's dense *per-log* id, allocated on first use, so
+    /// logs observe ids 1, 2, … in first-log order no matter how many
+    /// threads ran earlier in the process.
     pub fn log(&self, monitor: MonitorId, kind: EventKind) {
-        let thread = current_thread_id();
-        self.log_as(thread, monitor, kind);
+        let token = current_thread_id();
+        let mut inner = self.inner.lock();
+        let next = inner.thread_ids.len() as u64 + 1;
+        let thread = *inner.thread_ids.entry(token).or_insert(next);
+        Self::append(&mut inner, thread, monitor, kind);
     }
 
     /// Append an event attributed to an explicit thread id (used by the VM,
-    /// whose logical threads are not OS threads).
+    /// whose logical threads are not OS threads). Explicit ids bypass the
+    /// per-log allocator.
     pub fn log_as(&self, thread: u64, monitor: MonitorId, kind: EventKind) {
         let mut inner = self.inner.lock();
+        Self::append(&mut inner, thread, monitor, kind);
+    }
+
+    fn append(inner: &mut LogInner, thread: u64, monitor: MonitorId, kind: EventKind) {
+        if jcc_obs::enabled() {
+            bridge_to_obs(thread, monitor, &kind);
+        }
         let seq = inner.events.len() as u64;
         inner.events.push(Event {
             seq,
@@ -168,6 +203,12 @@ impl EventLog {
             .count()
     }
 
+    /// How many distinct threads have logged via [`EventLog::log`] (the
+    /// per-log id allocator's high-water mark).
+    pub fn allocated_threads(&self) -> usize {
+        self.inner.lock().thread_ids.len()
+    }
+
     /// All distinct thread ids appearing in the log, in first-seen order.
     pub fn threads(&self) -> Vec<u64> {
         let inner = self.inner.lock();
@@ -178,6 +219,47 @@ impl EventLog {
             }
         }
         seen
+    }
+}
+
+/// Fold one runtime event into the global obs registry (and, at `trace`
+/// level, the structured trace stream). `NotifyIssued` with zero waiters is
+/// the *lost notification* shape — a wake-up nobody was there to receive —
+/// so it gets its own tally.
+fn bridge_to_obs(thread: u64, monitor: MonitorId, kind: &EventKind) {
+    let reg = jcc_obs::global();
+    reg.counter("runtime.events").inc();
+    match kind {
+        EventKind::Transition(t) => {
+            reg.counter(&format!("runtime.transition.{t}")).inc();
+            if *t == Transition::T3 {
+                reg.counter("runtime.waits").inc();
+            }
+        }
+        EventKind::NotifyIssued { all, waiters } => {
+            reg.counter("runtime.notify.issued").inc();
+            if *all {
+                reg.counter("runtime.notify.all").inc();
+            }
+            if *waiters == 0 {
+                reg.counter("runtime.notify.lost").inc();
+            }
+        }
+        EventKind::Read { .. } => reg.counter("runtime.reads").inc(),
+        EventKind::Write { .. } => reg.counter("runtime.writes").inc(),
+        EventKind::MethodStart { .. }
+        | EventKind::MethodEnd { .. }
+        | EventKind::Marker { .. } => reg.counter("runtime.markers").inc(),
+    }
+    if jcc_obs::trace_enabled() {
+        jcc_obs::trace_event(
+            "runtime.event",
+            vec![
+                ("thread".to_string(), thread.to_string()),
+                ("monitor".to_string(), monitor.0.to_string()),
+                ("kind".to_string(), format!("{kind:?}")),
+            ],
+        );
     }
 }
 
@@ -245,5 +327,39 @@ mod tests {
         let log = EventLog::new();
         log.log_as(42, MonitorId(0), EventKind::MethodStart { method: "m".into() });
         assert_eq!(log.snapshot()[0].thread, 42);
+    }
+
+    #[test]
+    fn thread_ids_are_dense_per_log() {
+        // Ids are allocated per log in first-log order — 1, 2, … — no
+        // matter how many threads earlier tests burned through the
+        // process-wide token counter.
+        let log = EventLog::new();
+        let m = log.register_monitor("m");
+        log.transition(m, T::T1); // this thread logs first -> id 1
+        let l2 = log.clone();
+        std::thread::spawn(move || l2.transition(m, T::T1))
+            .join()
+            .unwrap();
+        log.transition(m, T::T2); // same thread keeps its id
+        let events = log.snapshot();
+        assert_eq!(events[0].thread, 1);
+        assert_eq!(events[1].thread, 2);
+        assert_eq!(events[2].thread, 1);
+        assert_eq!(log.allocated_threads(), 2);
+    }
+
+    #[test]
+    fn per_log_ids_are_independent_across_logs() {
+        // The same OS thread is id 1 in every fresh log: event logs from
+        // different tests/suites can be compared without id drift.
+        let a = EventLog::new();
+        let b = EventLog::new();
+        let m = a.register_monitor("m");
+        let n = b.register_monitor("n");
+        a.transition(m, T::T1);
+        b.transition(n, T::T1);
+        assert_eq!(a.snapshot()[0].thread, 1);
+        assert_eq!(b.snapshot()[0].thread, 1);
     }
 }

@@ -189,8 +189,8 @@ impl SuiteGoals {
                 TraceEventKind::Site { method, path, .. } => {
                     last_site.insert(e.thread, (method.clone(), path.clone()));
                 }
-                TraceEventKind::NotifyIssued { waiters, .. } => {
-                    if *waiters > 0 {
+                TraceEventKind::NotifyIssued { waiters, .. }
+                    if *waiters > 0 => {
                         if let Some((m, p)) = last_site.get(&e.thread) {
                             let key = (m.clone(), p.clone());
                             if self.notify_sites.contains(&key) {
@@ -198,7 +198,6 @@ impl SuiteGoals {
                             }
                         }
                     }
-                }
                 TraceEventKind::Transition { t, lock } => match t {
                     Transition::T3 => {
                         let method = current

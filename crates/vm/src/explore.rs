@@ -147,6 +147,7 @@ fn explore_stoppable(
     mut observer: impl FnMut(&Vm),
     stop: Option<&AtomicBool>,
 ) -> (ExploreResult, bool) {
+    let _span = jcc_obs::span!("vm.explore");
     let mut result = ExploreResult {
         states: 1,
         transitions: 0,
@@ -178,7 +179,38 @@ fn explore_stoppable(
         stop,
         &mut stopped,
     );
+    if jcc_obs::enabled() {
+        flush_explore_stats(&result);
+    }
     (result, stopped)
+}
+
+/// Publish one exploration's census into the global obs registry. Counters
+/// accumulate across explorations (the mutation matrix runs hundreds), so
+/// totals are sums over every `explore` call since the last registry reset.
+/// All values come from the finished deterministic result — observation
+/// never feeds back into the search.
+fn flush_explore_stats(result: &ExploreResult) {
+    let reg = jcc_obs::global();
+    reg.counter("vm.explore.runs").inc();
+    reg.counter("vm.explore.states").add(result.states as u64);
+    reg.counter("vm.explore.transitions")
+        .add(result.transitions as u64);
+    reg.counter("vm.explore.completed_paths")
+        .add(result.completed_paths as u64);
+    reg.counter("vm.explore.deadlock_paths")
+        .add(result.deadlock_paths as u64);
+    reg.counter("vm.explore.fault_paths")
+        .add(result.fault_paths as u64);
+    reg.counter("vm.explore.cycle_paths")
+        .add(result.cycle_paths as u64);
+    reg.counter("vm.explore.inescapable_cycles")
+        .add(result.inescapable_cycles as u64);
+    reg.counter("vm.explore.depth_limited_paths")
+        .add(result.depth_limited_paths as u64);
+    if result.truncated {
+        reg.counter("vm.explore.truncated").inc();
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -355,6 +387,7 @@ fn exhaustive_witness(result: &ExploreResult) -> Option<&RunOutcome> {
 /// sequential [`explore`] regardless of thread count; the probes only
 /// contribute an (often earlier) failure witness.
 pub fn explore_portfolio(vm: Vm, config: &PortfolioConfig) -> PortfolioResult {
+    let _span = jcc_obs::span!("vm.portfolio");
     let threads = config.explore.parallelism.threads;
     if threads <= 1 {
         // Sequential path: the portfolio degenerates to plain exploration.
@@ -405,12 +438,20 @@ pub fn explore_portfolio(vm: Vm, config: &PortfolioConfig) -> PortfolioResult {
                         .probe_seed
                         .wrapping_add((w * config.probes_per_worker + k) as u64);
                     let mut run = probe_vm.clone();
+                    let started = jcc_obs::enabled().then(std::time::Instant::now);
                     let outcome = run.run(&RunConfig {
                         scheduler: Scheduler::Random(seed),
                         max_steps: config.probe_max_steps,
                     });
+                    if let Some(t0) = started {
+                        jcc_obs::global()
+                            .histogram("vm.portfolio.probe_nanos")
+                            .record(t0.elapsed().as_nanos() as u64);
+                    }
                     probes_ref.fetch_add(1, Ordering::Relaxed);
                     if outcome.verdict.is_failure() {
+                        jcc_obs::event!("vm.portfolio.probe_failure";
+                            "seed" => seed, "worker" => w);
                         failures_ref
                             .lock()
                             .expect("failure lock")
@@ -431,6 +472,13 @@ pub fn explore_portfolio(vm: Vm, config: &PortfolioConfig) -> PortfolioResult {
         .expect("exhaustive worker always reports");
     let mut failures = probe_failures.into_inner().expect("failure lock");
     failures.sort_by_key(|(seed, _)| *seed);
+    if jcc_obs::enabled() {
+        let reg = jcc_obs::global();
+        reg.counter("vm.portfolio.probes")
+            .add(probes_run.load(Ordering::Relaxed) as u64);
+        reg.counter("vm.portfolio.probe_failures")
+            .add(failures.len() as u64);
+    }
 
     // Witness preference: the exhaustive census when it completed (its
     // witness is deterministic), otherwise the lowest-seed probe failure.

@@ -11,6 +11,31 @@ use rand::{Rng, SeedableRng};
 use jcc_petri::Transition;
 
 use crate::compile::{CompiledComponent, Instr};
+
+/// Cached obs counter handles for the five Figure-1 transitions. The global
+/// registry resets metrics *in place*, so these handles stay valid across
+/// [`jcc_obs::Registry::reset`] calls.
+fn transition_counter(t: Transition) -> &'static jcc_obs::Counter {
+    static COUNTERS: std::sync::OnceLock<[jcc_obs::Counter; 5]> = std::sync::OnceLock::new();
+    let counters = COUNTERS.get_or_init(|| {
+        let reg = jcc_obs::global();
+        [
+            reg.counter("vm.transition.T1"),
+            reg.counter("vm.transition.T2"),
+            reg.counter("vm.transition.T3"),
+            reg.counter("vm.transition.T4"),
+            reg.counter("vm.transition.T5"),
+        ]
+    });
+    let idx = match t {
+        Transition::T1 => 0,
+        Transition::T2 => 1,
+        Transition::T3 => 2,
+        Transition::T4 => 3,
+        Transition::T5 => 4,
+    };
+    &counters[idx]
+}
 use crate::trace::{TraceEvent, TraceEventKind};
 use crate::value::{eval, Env, Value};
 
@@ -314,6 +339,11 @@ impl Vm {
             }
             _ => {}
         }
+        if jcc_obs::enabled() {
+            if let TraceEventKind::Transition { t, .. } = &kind {
+                transition_counter(*t).inc();
+            }
+        }
         self.trace.push(TraceEvent {
             step: self.steps,
             thread,
@@ -433,19 +463,22 @@ impl Vm {
         );
         // Release anything the thread holds so others can continue —
         // mirrors Java unwinding synchronized blocks on an exception.
+        let mut released = Vec::new();
         for (li, lock) in self.locks.iter_mut().enumerate() {
             if lock.owner == Some(idx) {
                 lock.owner = None;
                 lock.count = 0;
-                self.trace.push(TraceEvent {
-                    step: self.steps,
-                    thread: idx,
-                    kind: TraceEventKind::Transition {
-                        t: Transition::T4,
-                        lock: li,
-                    },
-                });
+                released.push(li);
             }
+        }
+        for li in released {
+            self.emit(
+                idx,
+                TraceEventKind::Transition {
+                    t: Transition::T4,
+                    lock: li,
+                },
+            );
         }
         self.threads[idx].status = Status::Faulted;
         self.threads[idx].frame = None;

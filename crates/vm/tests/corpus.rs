@@ -196,12 +196,12 @@ fn readers_writers_writer_preference_observable() {
     // endRead notifies (8 steps); w wins the wake-up (preference), r2
     // re-waits. w never ends its write, so r2 stays waiting.
     let mut plan = Vec::new();
-    plan.extend(std::iter::repeat(0).take(7));
-    plan.extend(std::iter::repeat(1).take(5));
-    plan.extend(std::iter::repeat(2).take(4));
-    plan.extend(std::iter::repeat(0).take(8));
-    plan.extend(std::iter::repeat(1).take(7));
-    plan.extend(std::iter::repeat(2).take(3));
+    plan.extend(std::iter::repeat_n(0, 7));
+    plan.extend(std::iter::repeat_n(1, 5));
+    plan.extend(std::iter::repeat_n(2, 4));
+    plan.extend(std::iter::repeat_n(0, 8));
+    plan.extend(std::iter::repeat_n(1, 7));
+    plan.extend(std::iter::repeat_n(2, 3));
     let out = vm.run(&RunConfig {
         scheduler: Scheduler::Fixed(plan),
         max_steps: 10_000,

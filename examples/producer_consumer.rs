@@ -19,6 +19,13 @@ use jcc_core::testgen::suite::GreedyConfig;
 use jcc_core::vm::{CallSpec, Value};
 
 fn main() {
+    // Record the whole run with jcc-obs: the JSON report printed at the end
+    // is the same machine-readable artifact the bench binaries write to
+    // BENCH_*.json (see README, "Reading a run report").
+    jcc_core::obs::set_level(jcc_core::obs::ObsLevel::Summary);
+    jcc_core::obs::global().reset();
+    let started = std::time::Instant::now();
+
     let component = examples::producer_consumer();
     let pipeline = Pipeline::new(component).expect("Figure 2 is valid");
     println!(
@@ -81,4 +88,14 @@ fn main() {
     } else {
         println!("completion-time oracle: {violations:?}");
     }
+
+    println!("\n--- machine-readable run report (jcc-obs/v1) ---");
+    let report = jcc_core::obs::RunReport::from_registry(
+        "producer_consumer",
+        jcc_core::obs::level(),
+        started.elapsed().as_secs_f64(),
+        jcc_core::obs::global(),
+    );
+    jcc_core::obs::set_level(jcc_core::obs::ObsLevel::Off);
+    print!("{}", report.to_json_string());
 }

@@ -1,0 +1,179 @@
+//! Observation must never change results: with `jcc-obs` recording at any
+//! level, every engine produces results *identical* to an unobserved run —
+//! same ReachGraph, same exploration tallies — and the published counters
+//! agree exactly with the results they describe. (The obs design records
+//! into local tallies flushed after the fact, so this is by construction;
+//! these tests keep it that way.)
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use jcc_core::model::examples;
+use jcc_core::obs;
+use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
+use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Value, Vm};
+
+/// Serializes tests in this binary: they flip the process-global obs level.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` with obs at `level` on a freshly reset registry, restoring the
+/// default (off) level afterwards.
+fn with_level<T>(level: obs::ObsLevel, f: impl FnOnce() -> T) -> T {
+    obs::set_level(level);
+    obs::global().reset();
+    let _ = obs::drain_trace();
+    let result = f();
+    obs::set_level(obs::ObsLevel::Off);
+    result
+}
+
+/// Everything observable about a reach graph, in canonical order.
+type GraphFingerprint = (Vec<Vec<u32>>, Vec<Vec<(usize, usize)>>, Vec<usize>);
+
+fn graph_fingerprint(g: &ReachGraph) -> GraphFingerprint {
+    let markings = g.markings().iter().map(|m| m.0.to_vec()).collect::<Vec<_>>();
+    let successors = (0..g.markings().len())
+        .map(|i| {
+            g.successors(i)
+                .iter()
+                .map(|(t, j)| (t.index(), *j))
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>();
+    (markings, successors, g.dead_states())
+}
+
+fn limits(threads: usize) -> ReachLimits {
+    ReachLimits {
+        parallelism: Parallelism::with_threads(threads),
+        ..ReachLimits::default()
+    }
+}
+
+#[test]
+fn reach_graph_unchanged_by_observation() {
+    let _guard = obs_lock();
+    for n in 1..=3 {
+        let j = JavaNet::new(n);
+        let reference = with_level(obs::ObsLevel::Off, || ReachGraph::explore(j.net(), limits(1)));
+        let reference_fp = graph_fingerprint(&reference);
+        for level in [obs::ObsLevel::Summary, obs::ObsLevel::Trace] {
+            for threads in [1usize, 4] {
+                let g = with_level(level, || ReachGraph::explore(j.net(), limits(threads)));
+                assert_eq!(
+                    graph_fingerprint(&g),
+                    reference_fp,
+                    "n={n} level={} threads={threads}",
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reach_counters_agree_with_stats() {
+    let _guard = obs_lock();
+    let j = JavaNet::new(2);
+    let g = with_level(obs::ObsLevel::Summary, || {
+        ReachGraph::explore(j.net(), limits(1))
+    });
+    let reg = obs::global();
+    assert_eq!(reg.counter("petri.reach.explorations").get(), 1);
+    assert_eq!(
+        reg.counter("petri.reach.states").get(),
+        g.stats().states as u64
+    );
+    assert_eq!(reg.counter("petri.reach.edges").get(), g.stats().edges as u64);
+    // The sequential BFS timed itself into a phase histogram.
+    let phases = reg.histogram_values();
+    assert!(
+        phases.iter().any(|(name, s)| name == "span.petri.reach.sequential" && s.count == 1),
+        "missing reach span: {:?}",
+        phases.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+}
+
+fn pc_vm() -> Vm {
+    let c = examples::producer_consumer();
+    Vm::new(
+        compile(&c).unwrap(),
+        vec![
+            ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("ab".into())])],
+            },
+        ],
+    )
+}
+
+#[test]
+fn explore_tally_unchanged_by_observation() {
+    let _guard = obs_lock();
+    let reference = with_level(obs::ObsLevel::Off, || {
+        explore(pc_vm(), &ExploreConfig::default(), None)
+    });
+    for level in [obs::ObsLevel::Summary, obs::ObsLevel::Trace] {
+        let observed = with_level(level, || explore(pc_vm(), &ExploreConfig::default(), None));
+        assert_eq!(
+            observed.tally(),
+            reference.tally(),
+            "level={}",
+            level.name()
+        );
+        // And the flushed counters describe exactly this exploration.
+        let reg = obs::global();
+        assert_eq!(reg.counter("vm.explore.runs").get(), 1);
+        assert_eq!(
+            reg.counter("vm.explore.states").get(),
+            reference.states as u64
+        );
+        assert_eq!(
+            reg.counter("vm.explore.transitions").get(),
+            reference.transitions as u64
+        );
+        assert_eq!(
+            reg.counter("vm.explore.completed_paths").get(),
+            reference.completed_paths as u64
+        );
+    }
+}
+
+#[test]
+fn vm_transition_counters_populated_under_observation() {
+    let _guard = obs_lock();
+    with_level(obs::ObsLevel::Summary, || {
+        let _ = explore(pc_vm(), &ExploreConfig::default(), None);
+    });
+    let reg = obs::global();
+    // Producer/consumer explorations fire lock requests, acquisitions,
+    // waits, releases and notifications across the schedule tree.
+    for t in ["T1", "T2", "T3", "T4", "T5"] {
+        assert!(
+            reg.counter(&format!("vm.transition.{t}")).get() > 0,
+            "vm.transition.{t} never fired"
+        );
+    }
+}
+
+#[test]
+fn observation_off_records_nothing() {
+    let _guard = obs_lock();
+    obs::set_level(obs::ObsLevel::Off);
+    obs::global().reset();
+    let _ = explore(pc_vm(), &ExploreConfig::default(), None);
+    let reg = obs::global();
+    assert!(
+        reg.counter_values().iter().all(|(_, v)| *v == 0),
+        "counters must stay zero with obs off: {:?}",
+        reg.counter_values()
+    );
+}

@@ -24,7 +24,9 @@ fn limits(threads: usize) -> ReachLimits {
 }
 
 /// Everything observable about a reach graph, in canonical order.
-fn graph_fingerprint(g: &ReachGraph) -> (Vec<Vec<u32>>, Vec<Vec<(usize, usize)>>, Vec<usize>) {
+type GraphFingerprint = (Vec<Vec<u32>>, Vec<Vec<(usize, usize)>>, Vec<usize>);
+
+fn graph_fingerprint(g: &ReachGraph) -> GraphFingerprint {
     let markings = g
         .markings()
         .iter()

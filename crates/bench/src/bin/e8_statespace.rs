@@ -112,6 +112,57 @@ fn main() {
         threads,
         par_time
     );
+    reporter.set_derived("petri_seq_seconds", seq_time.as_secs_f64());
+    reporter.set_derived("petri_par_seconds", par_time.as_secs_f64());
+
+    // --- packed vs boxed representation, same net, same engine shape ---
+    // An 8-place token ring with 10 tokens: C(17,7) = 19448 reachable
+    // markings, eligible for the packed `u64` representation. The boxed
+    // reference engine explores the identical net for the before/after
+    // comparison the interning work targets.
+    {
+        let mut b = jcc_core::petri::NetBuilder::new();
+        let places: Vec<_> = (0..8)
+            .map(|i| b.place(format!("r{i}"), if i == 0 { 10 } else { 0 }))
+            .collect();
+        for i in 0..8 {
+            b.transition(format!("step{i}"), &[places[i]], &[places[(i + 1) % 8]]);
+        }
+        let ring = b.build().unwrap();
+        let seq_limits = ReachLimits {
+            parallelism: Parallelism::sequential(),
+            ..ReachLimits::default()
+        };
+        // Interleaved best-of-3, the same defence against one-off scheduler
+        // and warm-up noise the obs-overhead measurement uses.
+        let mut packed_time = f64::INFINITY;
+        let mut boxed_time = f64::INFINITY;
+        let mut packed = ReachGraph::explore(&ring, seq_limits);
+        let mut boxed = ReachGraph::explore_boxed(&ring, seq_limits, |_, _| true);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            packed = ReachGraph::explore(&ring, seq_limits);
+            packed_time = packed_time.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            boxed = ReachGraph::explore_boxed(&ring, seq_limits, |_, _| true);
+            boxed_time = boxed_time.min(t0.elapsed().as_secs_f64());
+        }
+        assert_eq!(packed.stats(), boxed.stats(), "engines must agree");
+        let packed_rate = packed.stats().states as f64 / packed_time.max(1e-9);
+        let boxed_rate = boxed.stats().states as f64 / boxed_time.max(1e-9);
+        say!(
+            "\n--- packed vs boxed (8-place ring, {} states) ---\n\
+             packed {:.4}s ({:.0} states/s), boxed {:.4}s ({:.0} states/s) -> x{:.2}",
+            packed.stats().states,
+            packed_time,
+            packed_rate,
+            boxed_time,
+            boxed_rate,
+            packed_rate / boxed_rate.max(1e-9)
+        );
+        reporter.set_derived("packed_states_per_sec", packed_rate);
+        reporter.set_derived("boxed_states_per_sec", boxed_rate);
+    }
 
     let vm = Vm::new(compiled.clone(), {
         let mut t = vec![ThreadSpec {
@@ -148,6 +199,8 @@ fn main() {
          portfolio x{} {:.1?}",
         census.states, par.probes_run, seq_time, threads, par_time
     );
+    reporter.set_derived("vm_seq_seconds", seq_time.as_secs_f64());
+    reporter.set_derived("vm_portfolio_seconds", par_time.as_secs_f64());
 
     // --- obs overhead self-measurement ---
     // The same N=6 sequential reachability, observed vs unobserved; three

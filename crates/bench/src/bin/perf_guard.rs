@@ -1,0 +1,109 @@
+//! Throughput regression guard for the e8 state-space benchmark.
+//!
+//! Compares the `states_per_sec` figure of a freshly generated
+//! `BENCH_e8.json` run report against the checked-in baseline in
+//! `ci/bench_baseline.json` and exits non-zero when the current run is more
+//! than 20% below the baseline. CI runs it right after the e8 bench smoke,
+//! so an accidental hot-path regression (a re-boxed marking, a dropped
+//! interner, a hash gone quadratic) fails the build instead of landing
+//! silently.
+//!
+//! The comparison is deliberately one-sided: runs *faster* than baseline
+//! always pass, and the baseline is only ratcheted up by hand (update
+//! `ci/bench_baseline.json` alongside the optimisation that earned it).
+//! The 20% head-room absorbs same-machine-class scheduler noise; the
+//! baseline assumes runs on comparable hardware, which is what a pinned CI
+//! runner pool provides.
+//!
+//! Usage: `perf_guard [current.json] [baseline.json]` — both arguments
+//! optional, defaulting to `BENCH_e8.json` and `ci/bench_baseline.json`
+//! relative to the working directory.
+
+use std::process::ExitCode;
+
+/// Fraction of baseline throughput a run must reach to pass.
+const FLOOR: f64 = 0.8;
+
+/// Extract the value of the exact top-level-or-nested key
+/// `"states_per_sec"` from a JSON document with a quoted-token scan.
+///
+/// The run report is machine-written by `jcc_obs::BenchReporter` with
+/// sorted string keys and no string values containing the token, so a full
+/// JSON parser buys nothing here — and the bench crate stays free of one.
+/// The quoted match (`"states_per_sec"` including both quotes) cannot
+/// confuse the longer `packed_`/`boxed_states_per_sec` derived keys.
+fn states_per_sec(json: &str) -> Option<f64> {
+    let key = "\"states_per_sec\"";
+    let at = json.find(key)?;
+    let rest = json[at + key.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn read_rate(path: &str, what: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("perf_guard: cannot read {what} {path}: {e}"))?;
+    states_per_sec(&text)
+        .ok_or_else(|| format!("perf_guard: no \"states_per_sec\" figure in {what} {path}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let current_path = args.next().unwrap_or_else(|| "BENCH_e8.json".into());
+    let baseline_path = args.next().unwrap_or_else(|| "ci/bench_baseline.json".into());
+
+    let (current, baseline) = match (
+        read_rate(&current_path, "run report"),
+        read_rate(&baseline_path, "baseline"),
+    ) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let floor = baseline * FLOOR;
+    let ratio = current / baseline.max(1e-9);
+    println!(
+        "perf_guard: states_per_sec current {current:.0} vs baseline {baseline:.0} \
+         (x{ratio:.2}, floor {floor:.0})"
+    );
+    if current < floor {
+        eprintln!(
+            "perf_guard: FAIL — throughput regressed more than {:.0}% below baseline",
+            (1.0 - FLOOR) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_guard: OK");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_exact_key_not_derived_variants() {
+        let json = r#"{"derived":{"boxed_states_per_sec":99.0,
+            "packed_states_per_sec":88.0,"states_per_sec":123456.5}}"#;
+        assert_eq!(states_per_sec(json), Some(123456.5));
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        assert_eq!(states_per_sec(r#"{"packed_states_per_sec":1.0}"#), None);
+        assert_eq!(states_per_sec("{}"), None);
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        assert_eq!(states_per_sec(r#"{"states_per_sec":1.25e5}"#), Some(1.25e5));
+    }
+}

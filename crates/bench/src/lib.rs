@@ -1,6 +1,6 @@
 //! # jcc-bench — experiment regeneration and benchmarks
 //!
-//! One binary per experiment of `DESIGN.md` §6 (`cargo run -p jcc-bench
+//! One binary per experiment of `DESIGN.md` §7 (`cargo run -p jcc-bench
 //! --bin <name>`):
 //!
 //! | binary                  | regenerates                                  |

@@ -243,8 +243,7 @@ mod tests {
         // Fire an arbitrary enabled sequence and re-check.
         let mut m = m0;
         for _ in 0..20 {
-            let enabled = net.enabled_transitions(&m);
-            let Some(&t) = enabled.first() else { break };
+            let Some(t) = net.enabled_iter(&m).next() else { break };
             m = net.fire(&m, t).unwrap();
             let sums: Vec<i64> = basis.iter().map(|b| weighted_sum(&m, b)).collect();
             assert_eq!(sums, sums0);

@@ -163,7 +163,13 @@ impl NetBuilder {
     }
 
     /// Finish building. Returns an error on duplicate node names.
-    pub fn build(self) -> Result<Net, NetError> {
+    ///
+    /// Duplicate arcs between one transition and one place are folded into
+    /// a single arc with the summed weight, so `enabled` (per-arc weight
+    /// check) and `fire` (per-arc token movement) always agree on the
+    /// aggregate demand — and so the packed firing engine's per-place
+    /// delta words describe exactly the same semantics.
+    pub fn build(mut self) -> Result<Net, NetError> {
         let mut seen = std::collections::HashSet::new();
         for name in self
             .place_names
@@ -174,12 +180,29 @@ impl NetBuilder {
                 return Err(NetError::DuplicateName(name.clone()));
             }
         }
+        for t in &mut self.transitions {
+            merge_duplicate_arcs(&mut t.inputs);
+            merge_duplicate_arcs(&mut t.outputs);
+        }
         Ok(Net {
             place_names: self.place_names,
             transitions: self.transitions,
             initial: Marking(self.initial_tokens.into_boxed_slice()),
         })
     }
+}
+
+/// Fold duplicate `(place, weight)` arcs into one arc with the summed
+/// weight, preserving first-occurrence order.
+fn merge_duplicate_arcs(arcs: &mut Vec<(PlaceId, u32)>) {
+    let mut merged: Vec<(PlaceId, u32)> = Vec::with_capacity(arcs.len());
+    for &(p, w) in arcs.iter() {
+        match merged.iter_mut().find(|(mp, _)| *mp == p) {
+            Some((_, mw)) => *mw += w,
+            None => merged.push((p, w)),
+        }
+    }
+    *arcs = merged;
 }
 
 impl Net {
@@ -253,11 +276,29 @@ impl Net {
             .all(|&(p, w)| marking.0[p.index()] >= w)
     }
 
-    /// All transitions enabled in `marking`.
+    /// Iterator over the transitions enabled in `marking`, in transition
+    /// order. This is the allocation-free form exploration hot paths use;
+    /// [`Net::enabled_transitions`] is the collecting convenience wrapper.
+    pub fn enabled_iter<'a>(
+        &'a self,
+        marking: &'a Marking,
+    ) -> impl Iterator<Item = TransId> + 'a {
+        self.transitions().filter(move |&t| self.enabled(marking, t))
+    }
+
+    /// Call `f` for each transition enabled in `marking`, in transition
+    /// order, without allocating.
+    pub fn for_each_enabled(&self, marking: &Marking, mut f: impl FnMut(TransId)) {
+        for t in self.enabled_iter(marking) {
+            f(t);
+        }
+    }
+
+    /// All transitions enabled in `marking`, collected into a `Vec`.
+    /// Prefer [`Net::enabled_iter`] / [`Net::for_each_enabled`] on hot
+    /// paths — this form allocates per call.
     pub fn enabled_transitions(&self, marking: &Marking) -> Vec<TransId> {
-        self.transitions()
-            .filter(|&t| self.enabled(marking, t))
-            .collect()
+        self.enabled_iter(marking).collect()
     }
 
     /// True if no transition is enabled — the net is dead in `marking`.
@@ -386,6 +427,44 @@ mod tests {
         assert_eq!(m.total(), 1);
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_arcs_merge_into_summed_weight() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        // q listed twice: builder folds to one weight-2 arc, so firing
+        // produces 2 tokens and the arc list has no duplicates.
+        let t = b.transition("t", &[p], &[q, q]);
+        let net = b.build().unwrap();
+        assert_eq!(net.outputs(t), &[(q, 2)]);
+        let m1 = net.fire(&net.initial_marking(), t).unwrap();
+        assert_eq!(m1.tokens(q), 2);
+        // Duplicate *inputs* demand the aggregate: two p-arcs need 2 tokens.
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 1);
+        let t = b.transition("t", &[p, p], &[]);
+        let net = b.build().unwrap();
+        assert_eq!(net.inputs(t), &[(p, 2)]);
+        assert!(!net.enabled(&net.initial_marking(), t));
+    }
+
+    #[test]
+    fn enabled_iter_matches_collected_form() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let t1 = b.transition("t1", &[p], &[q]);
+        b.transition("t2", &[q], &[p]);
+        let t3 = b.transition("t3", &[p], &[p]);
+        let net = b.build().unwrap();
+        let m0 = net.initial_marking();
+        assert_eq!(net.enabled_iter(&m0).collect::<Vec<_>>(), vec![t1, t3]);
+        assert_eq!(net.enabled_transitions(&m0), vec![t1, t3]);
+        let mut seen = Vec::new();
+        net.for_each_enabled(&m0, |t| seen.push(t));
+        assert_eq!(seen, vec![t1, t3]);
     }
 
     #[test]

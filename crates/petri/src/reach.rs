@@ -1,29 +1,47 @@
 //! Reachability analysis: exhaustive state-space exploration with
 //! configurable limits, deadlock detection and boundedness statistics.
 //!
-//! Exploration is parallel when [`ReachLimits::parallelism`] asks for more
-//! than one thread: workers share a work-stealing frontier and a seen-set
-//! sharded by marking hash, then a canonical renumbering pass rebuilds the
-//! graph in sequential-BFS discovery order, so the resulting [`ReachGraph`]
-//! is identical to the one the sequential engine produces. Exploration
-//! that would truncate (state limit or token bound) falls back to the
-//! sequential engine so truncation semantics stay exact.
+//! The hot paths run over *interned* states (see [`crate::state`]): nets
+//! with at most [`crate::state::MAX_PACKED_PLACES`] places and byte-range
+//! token counts explore entirely over `Copy` [`PackedMarking`] words, and
+//! wider nets intern each marking once into a [`StateStore`] arena so the
+//! BFS frontier and dedup maps carry dense `u32` ids instead of cloned
+//! boxed slices. Dedup hashing uses the vendored deterministic FxHash.
+//! The pre-interning engine survives as [`ReachGraph::explore_boxed`], the
+//! reference for differential tests and benchmarks.
 //!
-//! When `jcc-obs` recording is enabled, both engines publish
-//! `petri.reach.*` metrics (states, edges, deadlocks, dedup hits, frontier
-//! high-water, steals, truncations) and time themselves under
-//! `span.petri.reach.*`. Tallies are accumulated in plain locals and
-//! flushed once per exploration, so the hot loop is untouched and totals
-//! are deterministic; observation never changes the resulting graph.
+//! Exploration is parallel when [`ReachLimits::parallelism`] asks for more
+//! than one thread: workers share a work-stealing frontier (popped in small
+//! batches to cut lock traffic) and a seen-set sharded by marking hash,
+//! then a canonical renumbering pass rebuilds the graph in sequential-BFS
+//! discovery order, so the resulting [`ReachGraph`] is identical to the one
+//! the sequential engine produces. Exploration that would truncate (state
+//! limit or token bound) falls back to the sequential engine so truncation
+//! semantics stay exact.
+//!
+//! When `jcc-obs` recording is enabled, the engines publish `petri.reach.*`
+//! metrics (states, edges, deadlocks, dedup hits, frontier high-water,
+//! steals, queue batches, interned/packed state counts, truncations) and
+//! time themselves under `span.petri.reach.*`. Tallies are accumulated in
+//! plain locals and flushed once per exploration, so the hot loop is
+//! untouched and totals are deterministic; observation never changes the
+//! resulting graph.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use fxhash::{FxHashMap, FxHashSet};
+
 use crate::net::{Marking, Net, TransId};
 use crate::parallel::Parallelism;
+use crate::state::{PackedMarking, PackedNet, StateId, StateStore};
+
+/// How many frontier items a worker pops from its own queue per lock grab.
+const OWN_BATCH: usize = 8;
+/// How many frontier items a worker steals from a victim per lock grab.
+const STEAL_BATCH: usize = 4;
 
 /// Limits on state-space exploration.
 #[derive(Debug, Clone, Copy)]
@@ -81,7 +99,7 @@ pub struct ReachStats {
 #[derive(Debug, Clone)]
 pub struct ReachGraph {
     markings: Vec<Marking>,
-    index: HashMap<Marking, usize>,
+    index: FxHashMap<Marking, usize>,
     /// edges[state] = (transition fired, successor state)
     edges: Vec<Vec<(TransId, usize)>>,
     stats: ReachStats,
@@ -117,16 +135,17 @@ impl ReachGraph {
         }
     }
 
-    /// The original single-threaded BFS engine. Canonical: state IDs are
-    /// discovery order, edge lists are in transition order.
-    fn explore_sequential(
+    /// The pre-interning single-threaded engine, kept verbatim as the
+    /// reference implementation: boxed markings in a `VecDeque` frontier,
+    /// SipHash dedup map, one clone per queue hop. Differential tests pit
+    /// the interned engines against it, and the benchmark suite uses it to
+    /// measure the packed-vs-boxed gap. Never publishes obs metrics, so a
+    /// reference run does not pollute throughput counters.
+    pub fn explore_boxed(
         net: &Net,
         limits: ReachLimits,
-        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+        filter: impl Fn(&Marking, TransId) -> bool,
     ) -> ReachGraph {
-        let _span = jcc_obs::span!("petri.reach.sequential");
-        let mut dedup_hits: u64 = 0;
-        let mut frontier_peak: usize = 0;
         let mut markings: Vec<Marking> = Vec::new();
         let mut index: HashMap<Marking, usize> = HashMap::new();
         let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
@@ -142,7 +161,6 @@ impl ReachGraph {
         queue.push_back(0usize);
 
         'outer: while let Some(cur) = queue.pop_front() {
-            frontier_peak = frontier_peak.max(queue.len() + 1);
             let marking = markings[cur].clone();
             for t in net.transitions() {
                 if !net.enabled(&marking, t) || !filter(&marking, t) {
@@ -161,10 +179,7 @@ impl ReachGraph {
                 }
                 max_tokens_seen = max_tokens_seen.max(peak);
                 let next_id = match index.get(&next) {
-                    Some(&id) => {
-                        dedup_hits += 1;
-                        id
-                    }
+                    Some(&id) => id,
                     None => {
                         if markings.len() >= limits.max_states {
                             truncated = Some(Truncation::StateLimit);
@@ -182,10 +197,219 @@ impl ReachGraph {
             }
         }
 
-        let deadlocks = markings
-            .iter()
-            .filter(|m| net.is_deadlocked(m))
-            .count();
+        let deadlocks = markings.iter().filter(|m| net.is_deadlocked(m)).count();
+        let edge_count = edges.iter().map(Vec::len).sum();
+        let stats = ReachStats {
+            states: markings.len(),
+            edges: edge_count,
+            deadlocks,
+            max_tokens_seen,
+            truncated,
+        };
+        ReachGraph {
+            markings,
+            index: index.into_iter().collect(),
+            edges,
+            stats,
+        }
+    }
+
+    /// Sequential dispatch: packed engine when the net fits one `u64` per
+    /// marking, interned wide engine otherwise. Canonical: state IDs are
+    /// discovery order, edge lists are in transition order.
+    fn explore_sequential(
+        net: &Net,
+        limits: ReachLimits,
+        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+    ) -> ReachGraph {
+        let _span = jcc_obs::span!("petri.reach.sequential");
+        match PackedNet::try_new(net, &limits) {
+            Some(pn) => Self::sequential_packed(net, &pn, limits, filter),
+            None => Self::sequential_wide(net, limits, filter),
+        }
+    }
+
+    /// BFS over `u64`-packed markings: the frontier is an arena cursor (no
+    /// queue allocation at all), dedup is a word → id map, and firing is
+    /// two wide adds per transition.
+    fn sequential_packed(
+        net: &Net,
+        pn: &PackedNet,
+        limits: ReachLimits,
+        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+    ) -> ReachGraph {
+        let bound = limits.max_tokens_per_place;
+        let places = net.num_places();
+        let mut dedup_hits: u64 = 0;
+        let mut frontier_peak: usize = 0;
+        let mut states: Vec<PackedMarking> = Vec::new();
+        let mut seen: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
+        let mut truncated = None;
+
+        let m0 = pn.initial();
+        let mut max_tokens_seen = (0..places).map(|i| m0.tokens(i)).max().unwrap_or(0);
+        seen.insert(m0.0, 0);
+        states.push(m0);
+        edges.push(Vec::new());
+
+        // `filter` speaks boxed markings; one scratch buffer serves every
+        // expanded state.
+        let mut scratch = net.initial_marking();
+        let mut cur = 0usize;
+        // States `cur..states.len()` *are* the BFS queue: ids are assigned
+        // in discovery order, so the arena doubles as the frontier.
+        'outer: while cur < states.len() {
+            frontier_peak = frontier_peak.max(states.len() - cur);
+            let m = states[cur];
+            m.unpack_into(&mut scratch.0);
+            for t in net.transitions() {
+                if !pn.enabled(m, t) || !filter(&scratch, t) {
+                    continue;
+                }
+                let next = match pn.fire(m, t, bound, &mut max_tokens_seen) {
+                    Ok(next) => next,
+                    Err(place_index) => {
+                        truncated = Some(Truncation::TokenBound { place_index });
+                        break 'outer;
+                    }
+                };
+                let next_id = match seen.get(&next.0) {
+                    Some(&id) => {
+                        dedup_hits += 1;
+                        id as usize
+                    }
+                    None => {
+                        if states.len() >= limits.max_states {
+                            truncated = Some(Truncation::StateLimit);
+                            break 'outer;
+                        }
+                        let id = states.len();
+                        seen.insert(next.0, id as u32);
+                        states.push(next);
+                        edges.push(Vec::new());
+                        id
+                    }
+                };
+                edges[cur].push((t, next_id));
+            }
+            cur += 1;
+        }
+
+        let markings: Vec<Marking> = states.iter().map(|s| s.unpack(places)).collect();
+        Self::finish_sequential(
+            net,
+            markings,
+            edges,
+            max_tokens_seen,
+            truncated,
+            dedup_hits,
+            frontier_peak,
+            true,
+        )
+    }
+
+    /// BFS for nets too wide to pack: markings are interned once into a
+    /// [`StateStore`] arena and the frontier is a cursor over its dense
+    /// ids; the only per-state allocation left is the arena growth itself.
+    fn sequential_wide(
+        net: &Net,
+        limits: ReachLimits,
+        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+    ) -> ReachGraph {
+        let places = net.num_places();
+        let mut dedup_hits: u64 = 0;
+        let mut frontier_peak: usize = 0;
+        let mut store = StateStore::new(places);
+        let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
+        let mut truncated = None;
+
+        let m0 = net.initial_marking();
+        let mut max_tokens_seen = m0.0.iter().copied().max().unwrap_or(0);
+        let (id0, _) = store.intern(&m0.0);
+        debug_assert_eq!(id0, StateId(0));
+        edges.push(Vec::new());
+
+        // Two scratch buffers: the state being expanded and the successor
+        // under construction. Firing writes into `succ` directly, so the
+        // loop never allocates a marking.
+        let mut scratch = m0.clone();
+        let mut succ = m0;
+        let mut cur = 0usize;
+        'outer: while cur < store.len() {
+            frontier_peak = frontier_peak.max(store.len() - cur);
+            scratch.0.copy_from_slice(store.tokens(StateId(cur as u32)));
+            for t in net.transitions() {
+                if !net.enabled(&scratch, t) || !filter(&scratch, t) {
+                    continue;
+                }
+                // Fire in place (arc weights are pre-aggregated by the
+                // builder, so per-place subtract/add matches `Net::fire`).
+                succ.0.copy_from_slice(&scratch.0);
+                for &(p, w) in net.inputs(t) {
+                    succ.0[p.index()] -= w;
+                }
+                for &(p, w) in net.outputs(t) {
+                    succ.0[p.index()] += w;
+                }
+                let peak = succ.0.iter().copied().max().unwrap_or(0);
+                if peak > limits.max_tokens_per_place {
+                    let place_index = succ
+                        .0
+                        .iter()
+                        .position(|&x| x > limits.max_tokens_per_place)
+                        .unwrap_or(0);
+                    truncated = Some(Truncation::TokenBound { place_index });
+                    break 'outer;
+                }
+                max_tokens_seen = max_tokens_seen.max(peak);
+                let next_id = match store.get(&succ.0) {
+                    Some(id) => {
+                        dedup_hits += 1;
+                        id.index()
+                    }
+                    None => {
+                        if store.len() >= limits.max_states {
+                            truncated = Some(Truncation::StateLimit);
+                            break 'outer;
+                        }
+                        let (id, _) = store.intern(&succ.0);
+                        edges.push(Vec::new());
+                        id.index()
+                    }
+                };
+                edges[cur].push((t, next_id));
+            }
+            cur += 1;
+        }
+
+        let markings = store.to_markings();
+        Self::finish_sequential(
+            net,
+            markings,
+            edges,
+            max_tokens_seen,
+            truncated,
+            dedup_hits,
+            frontier_peak,
+            false,
+        )
+    }
+
+    /// Shared tail of the sequential engines: stats, obs flush, index
+    /// build. `packed` notes which representation carried the exploration.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_sequential(
+        net: &Net,
+        markings: Vec<Marking>,
+        edges: Vec<Vec<(TransId, usize)>>,
+        max_tokens_seen: u32,
+        truncated: Option<Truncation>,
+        dedup_hits: u64,
+        frontier_peak: usize,
+        packed: bool,
+    ) -> ReachGraph {
+        let deadlocks = markings.iter().filter(|m| net.is_deadlocked(m)).count();
         let edge_count = edges.iter().map(Vec::len).sum();
         let stats = ReachStats {
             states: markings.len(),
@@ -199,13 +423,29 @@ impl ReachGraph {
             reg.counter("petri.reach.dedup_hits").add(dedup_hits);
             reg.gauge("petri.reach.frontier_peak")
                 .set_max(frontier_peak as u64);
+            Self::flush_representation(&stats, packed);
             Self::flush_stats(&stats);
         }
+        let index = markings
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, m)| (m, i))
+            .collect();
         ReachGraph {
             markings,
             index,
             edges,
             stats,
+        }
+    }
+
+    /// Publish which state representation carried an exploration.
+    fn flush_representation(stats: &ReachStats, packed: bool) {
+        let reg = jcc_obs::global();
+        reg.counter("petri.reach.interned").add(stats.states as u64);
+        if packed {
+            reg.counter("petri.reach.packed").add(stats.states as u64);
         }
     }
 
@@ -223,39 +463,115 @@ impl ReachGraph {
         }
     }
 
-    /// Parallel discovery: work-stealing frontier + sharded seen-set, then
-    /// a canonical renumbering pass. Returns `None` when the exploration
-    /// hit a limit (caller falls back to the sequential engine for exact
-    /// truncation semantics).
+    /// Parallel dispatch: the work-stealing engine runs over `Copy` packed
+    /// words when the net fits, owned markings otherwise. Returns `None`
+    /// when the exploration hit a limit (caller falls back to the
+    /// sequential engine for exact truncation semantics).
     fn explore_parallel(
         net: &Net,
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
     ) -> Option<ReachGraph> {
         let _span = jcc_obs::span!("petri.reach.parallel");
+        match PackedNet::try_new(net, &limits) {
+            Some(pn) => {
+                let places = net.num_places();
+                let bound = limits.max_tokens_per_place;
+                let pn = &pn;
+                Self::parallel_generic(
+                    net,
+                    limits,
+                    pn.initial(),
+                    // Per-worker scratch marking for the filter callback.
+                    &|| net.initial_marking(),
+                    &move |scratch: &mut Marking,
+                           m: &PackedMarking,
+                           succs: &mut Vec<(TransId, PackedMarking)>| {
+                        m.unpack_into(&mut scratch.0);
+                        for t in net.transitions() {
+                            if !pn.enabled(*m, t) || !filter(scratch, t) {
+                                continue;
+                            }
+                            let mut sink = 0u32;
+                            match pn.fire(*m, t, bound, &mut sink) {
+                                Ok(next) => succs.push((t, next)),
+                                Err(_) => return true,
+                            }
+                        }
+                        false
+                    },
+                    &|s: &PackedMarking| s.unpack(places),
+                    true,
+                )
+            }
+            None => {
+                let bound = limits.max_tokens_per_place;
+                Self::parallel_generic(
+                    net,
+                    limits,
+                    net.initial_marking(),
+                    &|| (),
+                    &move |_: &mut (), m: &Marking, succs: &mut Vec<(TransId, Marking)>| {
+                        for t in net.transitions() {
+                            if !net.enabled(m, t) || !filter(m, t) {
+                                continue;
+                            }
+                            let next = net.fire(m, t).expect("enabled");
+                            if next.0.iter().copied().max().unwrap_or(0) > bound {
+                                return true;
+                            }
+                            succs.push((t, next));
+                        }
+                        false
+                    },
+                    &|s: &Marking| s.clone(),
+                    false,
+                )
+            }
+        }
+    }
+
+    /// Parallel discovery, generic over the state representation `S`
+    /// (packed `u64` words or owned markings): work-stealing frontier with
+    /// batched pops + FxHash-sharded seen-set, then a canonical renumbering
+    /// pass. `expand` lists one state's successors into the given buffer
+    /// (returning `true` to abort on a token-bound violation); `make_ctx`
+    /// builds each worker's private scratch space.
+    fn parallel_generic<S, C>(
+        net: &Net,
+        limits: ReachLimits,
+        m0: S,
+        make_ctx: &(impl Fn() -> C + Sync),
+        expand: &(impl Fn(&mut C, &S, &mut Vec<(TransId, S)>) -> bool + Sync),
+        to_marking: &impl Fn(&S) -> Marking,
+        packed: bool,
+    ) -> Option<ReachGraph>
+    where
+        S: Clone + Eq + Hash + Send + Sync,
+    {
         // Worker-local tallies land here once per worker; flushed to the
         // global registry after the join so totals are deterministic.
         let total_steals = AtomicUsize::new(0);
         let total_dedup_hits = AtomicUsize::new(0);
+        let total_batches = AtomicUsize::new(0);
         let threads = limits.parallelism.threads;
         let shard_count = (threads * 8).next_power_of_two();
-        let shards: Vec<Mutex<HashSet<Marking>>> = (0..shard_count)
-            .map(|_| Mutex::new(HashSet::new()))
+        let shards: Vec<Mutex<FxHashSet<S>>> = (0..shard_count)
+            .map(|_| Mutex::new(FxHashSet::default()))
             .collect();
-        let queues: Vec<Mutex<VecDeque<Marking>>> =
+        let queues: Vec<Mutex<VecDeque<S>>> =
             (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
         // Per-worker successor records, merged after the join.
-        type SuccessorRecord = (Marking, Vec<(TransId, Marking)>);
-        let records: Vec<Mutex<Vec<SuccessorRecord>>> =
+        type SuccessorRecord<S> = (S, Vec<(TransId, S)>);
+        let records: Vec<Mutex<Vec<SuccessorRecord<S>>>> =
             (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
         let aborted = AtomicBool::new(false);
         let discovered = AtomicUsize::new(1);
-        // Markings queued or currently being expanded; 0 means exploration
+        // States queued or currently being expanded; 0 means exploration
         // is complete (successors are enqueued before the parent retires).
         let pending = AtomicUsize::new(1);
 
-        let m0 = net.initial_marking();
         shards[Self::shard_of(&m0, shard_count)]
             .lock()
             .expect("shard lock")
@@ -272,46 +588,71 @@ impl ReachGraph {
                 let pending = &pending;
                 let total_steals = &total_steals;
                 let total_dedup_hits = &total_dedup_hits;
+                let total_batches = &total_batches;
                 scope.spawn(move || {
+                    let mut ctx = make_ctx();
                     let mut steals: usize = 0;
                     let mut dedup_hits: usize = 0;
-                    let mut local: Vec<(Marking, Vec<(TransId, Marking)>)> = Vec::new();
+                    let mut batches: usize = 0;
+                    let mut local: Vec<SuccessorRecord<S>> = Vec::new();
+                    // States grabbed but not yet expanded; they stay
+                    // counted in `pending` until their record is pushed.
+                    let mut batch: VecDeque<S> = VecDeque::new();
                     loop {
                         if aborted.load(Ordering::Relaxed) {
                             break;
                         }
-                        // Own queue first, then steal round-robin.
-                        let mut item = queues[w].lock().expect("queue lock").pop_front();
-                        if item.is_none() {
-                            for v in 1..threads {
-                                let victim = (w + v) % threads;
-                                item = queues[victim].lock().expect("queue lock").pop_back();
-                                if item.is_some() {
-                                    steals += 1;
-                                    break;
+                        if batch.is_empty() {
+                            // Refill in one lock grab: own queue first
+                            // (front, preserving rough BFS order), then
+                            // steal a smaller slice from a victim's back.
+                            {
+                                let mut q = queues[w].lock().expect("queue lock");
+                                for _ in 0..OWN_BATCH {
+                                    match q.pop_front() {
+                                        Some(s) => batch.push_back(s),
+                                        None => break,
+                                    }
                                 }
                             }
-                        }
-                        let Some(marking) = item else {
-                            if pending.load(Ordering::Acquire) == 0 {
-                                break;
+                            if batch.is_empty() {
+                                for v in 1..threads {
+                                    let victim = (w + v) % threads;
+                                    let mut q = queues[victim].lock().expect("queue lock");
+                                    for _ in 0..STEAL_BATCH {
+                                        match q.pop_back() {
+                                            Some(s) => batch.push_back(s),
+                                            None => break,
+                                        }
+                                    }
+                                    if !batch.is_empty() {
+                                        steals += 1;
+                                        break;
+                                    }
+                                }
                             }
-                            std::thread::yield_now();
-                            continue;
-                        };
-
-                        let mut succs: Vec<(TransId, Marking)> = Vec::new();
-                        for t in net.transitions() {
-                            if !net.enabled(&marking, t) || !filter(&marking, t) {
+                            if batch.is_empty() {
+                                if pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
                                 continue;
                             }
-                            let next = net.fire(&marking, t).expect("enabled");
-                            let peak = next.0.iter().copied().max().unwrap_or(0);
-                            if peak > limits.max_tokens_per_place {
-                                aborted.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                            let is_new = shards[Self::shard_of(&next, shard_count)]
+                            batches += 1;
+                        }
+                        let state = batch.pop_front().expect("non-empty batch");
+
+                        let mut succs: Vec<(TransId, S)> = Vec::new();
+                        if expand(&mut ctx, &state, &mut succs) {
+                            // Token bound violated: the sequential replay
+                            // will reproduce the exact truncation report.
+                            aborted.store(true, Ordering::Relaxed);
+                            local.push((state, succs));
+                            pending.fetch_sub(1, Ordering::Release);
+                            break;
+                        }
+                        for (_, next) in &succs {
+                            let is_new = shards[Self::shard_of(next, shard_count)]
                                 .lock()
                                 .expect("shard lock")
                                 .insert(next.clone());
@@ -327,14 +668,14 @@ impl ReachGraph {
                             } else {
                                 dedup_hits += 1;
                             }
-                            succs.push((t, next));
                         }
-                        local.push((marking, succs));
+                        local.push((state, succs));
                         pending.fetch_sub(1, Ordering::Release);
                     }
                     *records[w].lock().expect("record lock") = local;
                     total_steals.fetch_add(steals, Ordering::Relaxed);
                     total_dedup_hits.fetch_add(dedup_hits, Ordering::Relaxed);
+                    total_batches.fetch_add(batches, Ordering::Relaxed);
                 });
             }
         });
@@ -345,63 +686,76 @@ impl ReachGraph {
                 .add(total_steals.load(Ordering::Relaxed) as u64);
             reg.counter("petri.reach.dedup_hits")
                 .add(total_dedup_hits.load(Ordering::Relaxed) as u64);
+            reg.counter("petri.reach.queue_batches")
+                .add(total_batches.load(Ordering::Relaxed) as u64);
         }
         if aborted.load(Ordering::Relaxed) {
             jcc_obs::event!("petri.reach.parallel_abort"; "reason" => "limit hit, sequential replay");
             return None;
         }
 
-        let mut successors: HashMap<Marking, Vec<(TransId, Marking)>> = HashMap::new();
+        let mut successors: FxHashMap<S, Vec<(TransId, S)>> = FxHashMap::default();
         for record in records {
-            for (marking, succs) in record.into_inner().expect("record lock") {
-                successors.insert(marking, succs);
+            for (state, succs) in record.into_inner().expect("record lock") {
+                successors.insert(state, succs);
             }
         }
-        Some(Self::renumber_canonical(net, m0, &successors))
+        Some(Self::renumber_canonical(
+            net,
+            &m0,
+            &successors,
+            to_marking,
+            packed,
+        ))
     }
 
-    /// Shard index of a marking (hash-partitioned seen-set).
-    fn shard_of(marking: &Marking, shard_count: usize) -> usize {
-        let mut hasher = DefaultHasher::new();
-        marking.hash(&mut hasher);
-        (hasher.finish() as usize) & (shard_count - 1)
+    /// Shard index of a state (FxHash-partitioned seen-set).
+    fn shard_of<S: Hash>(state: &S, shard_count: usize) -> usize {
+        (fxhash::hash64(state) as usize) & (shard_count - 1)
     }
 
     /// Rebuild the graph in canonical sequential-BFS order from the
-    /// (unordered) marking → successors map the parallel workers produced.
+    /// (unordered) state → successors map the parallel workers produced.
     /// Successor lists are already in transition order, so assigning state
     /// IDs by BFS discovery reproduces the sequential graph exactly.
-    fn renumber_canonical(
+    fn renumber_canonical<S: Clone + Eq + Hash>(
         net: &Net,
-        m0: Marking,
-        successors: &HashMap<Marking, Vec<(TransId, Marking)>>,
+        m0: &S,
+        successors: &FxHashMap<S, Vec<(TransId, S)>>,
+        to_marking: &impl Fn(&S) -> Marking,
+        packed: bool,
     ) -> ReachGraph {
         let _span = jcc_obs::span!("petri.reach.renumber");
         let total = successors.len();
         let mut markings: Vec<Marking> = Vec::with_capacity(total);
-        let mut index: HashMap<Marking, usize> = HashMap::with_capacity(total);
+        let mut keys: Vec<S> = Vec::with_capacity(total);
+        let mut ids: FxHashMap<S, usize> = FxHashMap::default();
         let mut edges: Vec<Vec<(TransId, usize)>> = Vec::with_capacity(total);
         let mut queue = VecDeque::new();
 
-        let mut max_tokens_seen = m0.0.iter().copied().max().unwrap_or(0);
-        index.insert(m0.clone(), 0);
-        markings.push(m0);
+        let first = to_marking(m0);
+        let mut max_tokens_seen = first.0.iter().copied().max().unwrap_or(0);
+        ids.insert(m0.clone(), 0);
+        keys.push(m0.clone());
+        markings.push(first);
         edges.push(Vec::new());
         queue.push_back(0usize);
 
         while let Some(cur) = queue.pop_front() {
             let succs = successors
-                .get(&markings[cur])
-                .expect("every discovered marking was expanded");
+                .get(&keys[cur])
+                .expect("every discovered state was expanded");
             for (t, next) in succs {
-                let next_id = match index.get(next) {
+                let next_id = match ids.get(next) {
                     Some(&id) => id,
                     None => {
                         let id = markings.len();
+                        let m = to_marking(next);
                         max_tokens_seen =
-                            max_tokens_seen.max(next.0.iter().copied().max().unwrap_or(0));
-                        index.insert(next.clone(), id);
-                        markings.push(next.clone());
+                            max_tokens_seen.max(m.0.iter().copied().max().unwrap_or(0));
+                        ids.insert(next.clone(), id);
+                        keys.push(next.clone());
+                        markings.push(m);
                         edges.push(Vec::new());
                         queue.push_back(id);
                         id
@@ -421,8 +775,15 @@ impl ReachGraph {
             truncated: None,
         };
         if jcc_obs::enabled() {
+            Self::flush_representation(&stats, packed);
             Self::flush_stats(&stats);
         }
+        let index = markings
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, m)| (m, i))
+            .collect();
         ReachGraph {
             markings,
             index,
@@ -553,6 +914,7 @@ mod tests {
     use super::*;
     use crate::java_model::JavaNet;
     use crate::net::NetBuilder;
+    use proptest::prelude::*;
 
     #[test]
     fn single_thread_java_net_has_five_states() {
@@ -765,5 +1127,126 @@ mod tests {
         let par = ReachGraph::explore(j.net(), limits(2));
         assert_graphs_identical(&seq, &par);
         assert_eq!(par.stats().truncated, Some(Truncation::StateLimit));
+    }
+
+    #[test]
+    fn boxed_reference_matches_interned_engines_on_java_nets() {
+        // n=1 → 5 places (packed engine); n=2 → 9 places (wide engine).
+        for n in 1..=2 {
+            let j = JavaNet::new(n);
+            let interned = ReachGraph::explore(j.net(), ReachLimits::default());
+            let boxed =
+                ReachGraph::explore_boxed(j.net(), ReachLimits::default(), |_, _| true);
+            assert_graphs_identical(&interned, &boxed);
+            let interned = ReachGraph::explore_filtered(
+                j.net(),
+                ReachLimits::default(),
+                j.notify_side_condition(),
+            );
+            let boxed = ReachGraph::explore_boxed(
+                j.net(),
+                ReachLimits::default(),
+                j.notify_side_condition(),
+            );
+            assert_graphs_identical(&interned, &boxed);
+        }
+    }
+
+    #[test]
+    fn overloaded_initial_marking_truncates_identically() {
+        // m0 already violates the token bound: the packed engine must
+        // refuse the net (it only checks produced places) and the wide
+        // engine must reproduce the boxed whole-marking scan exactly.
+        let mut b = NetBuilder::new();
+        let p = b.place("p", 30);
+        let q = b.place("q", 0);
+        b.transition("t", &[p], &[q]);
+        let net = b.build().unwrap();
+        let limits = ReachLimits {
+            max_tokens_per_place: 10,
+            ..ReachLimits::default()
+        };
+        let interned = ReachGraph::explore(&net, limits);
+        let boxed = ReachGraph::explore_boxed(&net, limits, |_, _| true);
+        assert_graphs_identical(&interned, &boxed);
+        assert_eq!(
+            interned.stats().truncated,
+            Some(Truncation::TokenBound { place_index: 0 })
+        );
+    }
+
+    /// A small random net plus exploration limits, spanning both the packed
+    /// (≤8 places) and wide regimes, with bounds tight enough to exercise
+    /// truncation on some inputs.
+    fn arb_net_and_limits() -> impl Strategy<Value = (crate::net::Net, ReachLimits)> {
+        (1usize..=10).prop_flat_map(|places| {
+            let arcs = proptest::collection::vec((0..places, 1u32..=2), 0..=3);
+            (
+                proptest::collection::vec(0u32..=2, places),
+                proptest::collection::vec((arcs.clone(), arcs), 1..=6),
+                prop_oneof![Just(6u32), Just(64)],
+                prop_oneof![Just(40usize), Just(100_000)],
+            )
+                .prop_map(move |(init, trans, bound, max_states)| {
+                    let mut b = NetBuilder::new();
+                    let pids: Vec<_> = init
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &k)| b.place(format!("p{i}"), k))
+                        .collect();
+                    for (i, (ins, outs)) in trans.iter().enumerate() {
+                        let ins: Vec<_> = ins.iter().map(|&(p, w)| (pids[p], w)).collect();
+                        let outs: Vec<_> = outs.iter().map(|&(p, w)| (pids[p], w)).collect();
+                        b.weighted_transition(format!("t{i}"), &ins, &outs);
+                    }
+                    let limits = ReachLimits {
+                        max_states,
+                        max_tokens_per_place: bound,
+                        parallelism: Parallelism::sequential(),
+                    };
+                    (b.build().unwrap(), limits)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Satellite property: the interned engines (packed and wide) are
+        /// observationally identical to the pre-optimization boxed engine —
+        /// same markings, edges, stats, and truncation reports.
+        #[test]
+        fn interned_engines_match_boxed_reference(
+            (net, limits) in arb_net_and_limits(),
+        ) {
+            let interned = ReachGraph::explore(&net, limits);
+            let boxed = ReachGraph::explore_boxed(&net, limits, |_, _| true);
+            prop_assert_eq!(interned.stats(), boxed.stats());
+            prop_assert_eq!(interned.markings(), boxed.markings());
+            for i in 0..interned.markings().len() {
+                prop_assert_eq!(interned.successors(i), boxed.successors(i));
+            }
+        }
+
+        /// And the parallel engine agrees with both on random nets (falling
+        /// back to sequential replay whenever the exploration truncates).
+        #[test]
+        fn parallel_matches_boxed_reference(
+            (net, limits) in arb_net_and_limits(),
+        ) {
+            let par = ReachGraph::explore(
+                &net,
+                ReachLimits {
+                    parallelism: Parallelism::with_threads(3),
+                    ..limits
+                },
+            );
+            let boxed = ReachGraph::explore_boxed(&net, limits, |_, _| true);
+            prop_assert_eq!(par.stats(), boxed.stats());
+            prop_assert_eq!(par.markings(), boxed.markings());
+            for i in 0..par.markings().len() {
+                prop_assert_eq!(par.successors(i), boxed.successors(i));
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! The paper's deterministic-testing premise — that a failure only shows up
 //! under *some* schedules — is exactly what this module quantifies.
 
-use std::collections::HashSet;
+use fxhash::FxHashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -162,8 +162,8 @@ fn explore_stoppable(
         depth_limited_paths: 0,
         truncated: false,
     };
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut on_path: HashSet<u64> = HashSet::new();
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut on_path: FxHashSet<u64> = FxHashSet::default();
     let key0 = vm.state_key();
     seen.insert(key0);
     on_path.insert(key0);
@@ -218,8 +218,8 @@ fn dfs(
     vm: Vm,
     depth: usize,
     config: &ExploreConfig,
-    seen: &mut HashSet<u64>,
-    on_path: &mut HashSet<u64>,
+    seen: &mut FxHashSet<u64>,
+    on_path: &mut FxHashSet<u64>,
     result: &mut ExploreResult,
     observer: &mut impl FnMut(&Vm),
     stop: Option<&AtomicBool>,

@@ -1,9 +1,11 @@
 //! The virtual machine: logical threads executing compiled components under
 //! a pluggable scheduler, with full trace recording.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use fxhash::FxHasher;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -217,11 +219,15 @@ struct LockState {
 }
 
 /// The virtual machine. Clone it to snapshot the whole execution state
-/// (used by the exhaustive explorer).
+/// (used by the exhaustive explorer). The compiled component and thread
+/// specs are immutable for the life of the machine and shared behind
+/// `Arc`s, so a snapshot copies only the mutable state (fields, locks,
+/// frames, trace) — the explorer clones a `Vm` per branch, and those
+/// clones dominated its profile before the sharing.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    component: CompiledComponent,
-    specs: Vec<ThreadSpec>,
+    component: Arc<CompiledComponent>,
+    specs: Arc<[ThreadSpec]>,
     fields: BTreeMap<String, Value>,
     locks: Vec<LockState>,
     threads: Vec<ThreadState>,
@@ -261,8 +267,8 @@ impl Vm {
         let results = threads.iter().map(|_| Vec::new()).collect();
         let n_threads = threads.len();
         Vm {
-            component,
-            specs: threads,
+            component: Arc::new(component),
+            specs: threads.into(),
             fields,
             locks,
             threads: thread_states,
@@ -355,7 +361,7 @@ impl Vm {
     /// frames) — used by the explorer to prune revisited states. The trace
     /// and step counter are deliberately excluded.
     pub fn state_key(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = FxHasher::default();
         self.fields.hash(&mut h);
         self.locks.hash(&mut h);
         self.threads.hash(&mut h);
@@ -517,10 +523,14 @@ impl Vm {
         let frame = self.threads[idx].frame.as_ref().expect("running frame");
         let mi = frame.method_idx;
         let pc = frame.pc;
-        let instr = self.component.methods[mi].code[pc].clone();
-        match instr {
+        // A refcount bump on the shared component lets the instruction be
+        // borrowed while the machine mutates; the per-step deep clone of
+        // the instruction (strings + expression trees) was a hot-path cost.
+        let component = Arc::clone(&self.component);
+        match &component.methods[mi].code[pc] {
             Instr::EnterSync { lock, path } => {
-                if let Some(p) = &path {
+                let lock = *lock;
+                if let Some(p) = path {
                     self.emit(
                         idx,
                         TraceEventKind::Site {
@@ -551,6 +561,7 @@ impl Vm {
                 }
             }
             Instr::ExitSync { lock, path } => {
+                let lock = *lock;
                 if self.locks[lock].owner != Some(idx) {
                     self.fault_thread(
                         idx,
@@ -561,7 +572,7 @@ impl Vm {
                     );
                     return;
                 }
-                if let Some(p) = &path {
+                if let Some(p) = path {
                     self.emit(
                         idx,
                         TraceEventKind::Site {
@@ -585,6 +596,7 @@ impl Vm {
                 self.advance(idx);
             }
             Instr::Wait { lock, path } => {
+                let lock = *lock;
                 if self.locks[lock].owner != Some(idx) {
                     self.fault_thread(
                         idx,
@@ -599,7 +611,7 @@ impl Vm {
                     idx,
                     TraceEventKind::Site {
                         method: self.current_method_name(idx),
-                        path,
+                        path: path.clone(),
                         exit: false,
                     },
                 );
@@ -618,6 +630,7 @@ impl Vm {
                 self.threads[idx].status = Status::Waiting { lock, holds };
             }
             Instr::Notify { lock, all, path } => {
+                let (lock, all) = (*lock, *all);
                 if self.locks[lock].owner != Some(idx) {
                     self.fault_thread(
                         idx,
@@ -632,7 +645,7 @@ impl Vm {
                     idx,
                     TraceEventKind::Site {
                         method: self.current_method_name(idx),
-                        path,
+                        path: path.clone(),
                         exit: false,
                     },
                 );
@@ -663,32 +676,32 @@ impl Vm {
                 self.advance(idx);
             }
             Instr::StoreField { name, value } => {
-                if let Some(v) = self.eval_in_frame(idx, &value) {
+                if let Some(v) = self.eval_in_frame(idx, value) {
                     self.emit(idx, TraceEventKind::FieldWrite { field: name.clone() });
-                    self.fields.insert(name, v);
+                    self.fields.insert(name.clone(), v);
                     self.advance(idx);
                 }
             }
             Instr::StoreLocal { name, value } => {
-                if let Some(v) = self.eval_in_frame(idx, &value) {
+                if let Some(v) = self.eval_in_frame(idx, value) {
                     let frame = self.threads[idx].frame.as_mut().expect("running frame");
-                    frame.locals.insert(name, v);
+                    frame.locals.insert(name.clone(), v);
                     self.advance(idx);
                 }
             }
             Instr::JumpIfFalse { cond, target } => {
-                if let Some(v) = self.eval_in_frame(idx, &cond) {
+                if let Some(v) = self.eval_in_frame(idx, cond) {
                     match v.as_bool() {
                         Ok(true) => self.advance(idx),
-                        Ok(false) => self.jump(idx, target),
+                        Ok(false) => self.jump(idx, *target),
                         Err(e) => self.fault_thread(idx, e.message),
                     }
                 }
             }
-            Instr::Jump { target } => self.jump(idx, target),
+            Instr::Jump { target } => self.jump(idx, *target),
             Instr::EvalRet { value } => {
                 let v = match value {
-                    Some(e) => match self.eval_in_frame(idx, &e) {
+                    Some(e) => match self.eval_in_frame(idx, e) {
                         Some(v) => Some(v),
                         None => return, // faulted
                     },
@@ -834,7 +847,7 @@ impl Vm {
 }
 
 fn marker_hash(method: &str, path: Option<&Vec<usize>>, exit: bool, tag: u8) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FxHasher::default();
     tag.hash(&mut h);
     method.hash(&mut h);
     path.hash(&mut h);

@@ -1,0 +1,221 @@
+//! Offline shim for the `fxhash` / `rustc-hash` crates.
+//!
+//! The build environment has no registry access, so the workspace
+//! path-replaces `fxhash` with this crate. It provides the subset the
+//! workspace uses: [`FxHasher`] (the multiply-rotate hash function rustc
+//! uses for its interning tables), the [`FxHashMap`]/[`FxHashSet`] aliases,
+//! [`FxBuildHasher`], and a [`hash64`] convenience function.
+//!
+//! Two properties matter to the callers and are guaranteed here:
+//!
+//! * **Deterministic**: no per-process random seed (unlike `SipHasher`'s
+//!   `RandomState`). The same input hashes to the same `u64` in every run
+//!   and on every platform — byte streams are consumed in little-endian
+//!   `u64` chunks regardless of the host's pointer width, so 32- and
+//!   64-bit targets agree.
+//! * **Cheap**: one rotate, one xor and one multiply per word, plus one
+//!   avalanche round at `finish()` (see [`FxHasher`] for why the finalizer
+//!   exists). The dedup probes of reachability exploration hash small
+//!   fixed-size keys (packed markings, interned token slices, VM state
+//!   keys) millions of times; SipHash's per-hash setup dominates at that
+//!   grain.
+//!
+//! FxHash is not collision-resistant against adversarial input. Every use
+//! in this workspace hashes machine-generated state vectors, never
+//! attacker-controlled data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The golden-ratio multiplier rustc uses (`0x9e3779b97f4a7c15` truncated
+/// odd variant used by Firefox / rustc's FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s; `Default` so the map aliases
+/// work with `FxHashMap::default()`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The FxHash streaming hasher: `state = (state <<< 5 ^ word) * SEED` per
+/// 64-bit word, with an avalanche finalizer in [`Hasher::finish`].
+///
+/// The finalizer departs from classic FxHash on purpose. A bare
+/// multiply-by-odd-constant only propagates entropy *upward*: bit `i` of
+/// the product depends solely on bits `0..=i` of the input, so for a
+/// single-word key the low bits of the hash are a function of the low bits
+/// of the key alone. Hashbrown tables index buckets with the *low* bits of
+/// the hash, which turns low-entropy-low-byte keys — exactly the packed
+/// markings and small state keys this workspace hashes — into massive
+/// bucket clusters (measured: a 19k-state packed exploration ran 2× slower
+/// than its SipHash reference before the finalizer). One xor-shift /
+/// multiply / xor-shift round spreads every input bit to every output bit
+/// and costs a single extra multiply per hash, preserving the "far cheaper
+/// than SipHash" property.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Odd multiplier of the finalizer round (from MurmurHash3's fmix64).
+const FINALIZE: u64 = 0xff51_afd7_ed55_8ccd;
+
+impl FxHasher {
+    /// Fold one 64-bit word into the state.
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(FINALIZE);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume in little-endian u64 chunks with a zero-padded tail, so
+        // the result is independent of the host's usize width.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        // Widen so 32- and 64-bit hosts hash `usize` identically.
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.write_u8(n as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.write_u16(n as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.write_u32(n as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.write_usize(n as usize);
+    }
+}
+
+/// Hash any `Hash` value to a `u64` with [`FxHasher`] — the one-shot form
+/// used for shard selection and state keys.
+#[inline]
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a = hash64(&[1u32, 2, 3][..]);
+        let b = hash64(&[1u32, 2, 3][..]);
+        assert_eq!(a, b);
+        assert_ne!(a, hash64(&[1u32, 2, 4][..]));
+    }
+
+    #[test]
+    fn chunked_write_matches_padded_tail() {
+        // 9 bytes: one full chunk plus a 1-byte zero-padded tail — must not
+        // collide with the 8-byte prefix alone.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_usable() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(42, "answer");
+        assert_eq!(m.get(&42), Some(&"answer"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn high_byte_changes_reach_low_hash_bits() {
+        // Keys that differ only in their top byte (place 7 of a packed
+        // marking) must land in different hashbrown buckets, i.e. differ in
+        // the low bits of the hash. Without the avalanche finalizer every
+        // such pair collides modulo 2^56.
+        let mut low_bits = HashSet::new();
+        for top in 0u64..11 {
+            low_bits.insert(hash64(&(top << 56)) & 0x7fff);
+        }
+        assert_eq!(low_bits.len(), 11, "top-byte entropy lost in low bits");
+    }
+
+    #[test]
+    fn integer_writes_fold_one_word() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(0xDEAD_BEEF);
+        let mut h2 = FxHasher::default();
+        h2.write_usize(0xDEAD_BEEF);
+        assert_eq!(h1.finish(), h2.finish(), "usize widened to u64");
+    }
+}

@@ -4,7 +4,8 @@
 //! path-replaces `proptest` with this crate. It reproduces the subset the
 //! workspace's property tests use: the `proptest!` macro (with
 //! `#![proptest_config(..)]`), integer-range / tuple / `collection::vec` /
-//! `bool::ANY` / `Just` strategies, `prop_map`, `prop_filter`, `boxed`,
+//! `bool::ANY` / `Just` strategies, `prop_map`, `prop_flat_map`,
+//! `prop_filter`, `boxed`,
 //! `prop_oneof!`, and the `prop_assert*` macros.
 //!
 //! Semantics: deterministic random-case testing. Each `#[test]` derives a
@@ -85,6 +86,15 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
+
     fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
     where
         Self: Sized,
@@ -132,6 +142,21 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn sample(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_flat_map` adapter: derives a second strategy from each sampled
+/// value (no shrinking, so this is just sample-then-sample).
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn sample(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -413,6 +438,19 @@ mod tests {
             }
         }
         assert!(low && high);
+    }
+
+    #[test]
+    fn flat_map_derives_dependent_strategy() {
+        // Length-then-contents: the classic flat_map shape.
+        let s = (1usize..=8).prop_flat_map(|len| {
+            crate::collection::vec(0u64..10, len..=len).prop_map(move |v| (len, v))
+        });
+        let mut rng = crate::TestRng::from_seed(3);
+        for _ in 0..100 {
+            let (len, v) = s.sample(&mut rng);
+            assert_eq!(v.len(), len);
+        }
     }
 
     #[test]

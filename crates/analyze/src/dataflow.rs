@@ -1,0 +1,444 @@
+//! A small forward dataflow framework over MIR blocks.
+//!
+//! The MIR is structured (no goto, `synchronized` regions are properly
+//! nested blocks), so forward analysis is a single pre-order walk that
+//! threads a lattice value through each statement, forks it at `if`,
+//! re-joins after both branches, and iterates loop bodies to a fixpoint.
+//! The framework is generic over a [`JoinSemiLattice`]; the analyzer's
+//! workhorse instance is [`LockState`], the must-hold locks lattice with
+//! reentrancy counts, combined with reachability tracking (whether an
+//! unconditional `return` or a `while (true)` that never returns cuts off
+//! the statements that follow).
+//!
+//! Checks subscribe as a visitor: for every statement they receive a
+//! [`FlowEvent`] carrying the statement, its [`StmtPath`], the lock state
+//! *before* it executes, the enclosing-loop depth and reachability.
+
+use jcc_model::ast::{Block, Expr, Method, Stmt, StmtPath, ELSE_OFFSET};
+use std::collections::BTreeMap;
+
+use crate::locks::{LockId, LockTable};
+
+/// A join-semilattice: the merge operator for forward dataflow states at
+/// control-flow joins.
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// Merge `other` into `self`; returns `true` when `self` changed
+    /// (drives fixpoint iteration).
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// The must-hold locks lattice: which monitors are definitely held at a
+/// program point, with reentrancy counts. `synchronized` on an
+/// already-held monitor bumps the count (Java monitors are reentrant);
+/// leaving the region decrements it, releasing only at zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LockState {
+    held: BTreeMap<LockId, u32>,
+}
+
+impl LockState {
+    /// The empty state: no monitors held.
+    pub fn empty() -> LockState {
+        LockState::default()
+    }
+
+    /// Acquire `id` (entering a synchronized region).
+    pub fn acquire(&mut self, id: LockId) {
+        *self.held.entry(id).or_insert(0) += 1;
+    }
+
+    /// Release `id` (leaving a synchronized region).
+    pub fn release(&mut self, id: LockId) {
+        if let Some(n) = self.held.get_mut(&id) {
+            *n -= 1;
+            if *n == 0 {
+                self.held.remove(&id);
+            }
+        }
+    }
+
+    /// Whether `id` is definitely held.
+    pub fn holds(&self, id: LockId) -> bool {
+        self.held.contains_key(&id)
+    }
+
+    /// Reentrancy depth of `id` (0 when not held).
+    pub fn depth(&self, id: LockId) -> u32 {
+        self.held.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Whether any monitor is held.
+    pub fn any_held(&self) -> bool {
+        !self.held.is_empty()
+    }
+
+    /// The held monitors, in `LockId` order.
+    pub fn held_ids(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.held.keys().copied()
+    }
+}
+
+impl JoinSemiLattice for LockState {
+    /// Must-analysis: a lock is held after a join only if both paths hold
+    /// it, at the smaller reentrancy depth.
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        let mut merged = BTreeMap::new();
+        for (&id, &n) in &self.held {
+            if let Some(&m) = other.held.get(&id) {
+                merged.insert(id, n.min(m));
+            }
+        }
+        if merged != self.held {
+            self.held = merged;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// What a check's visitor sees for each statement.
+#[derive(Debug)]
+pub struct FlowEvent<'a> {
+    /// Path of the statement within the method body.
+    pub path: StmtPath,
+    /// The statement itself.
+    pub stmt: &'a Stmt,
+    /// Monitors definitely held immediately before the statement.
+    pub locks: &'a LockState,
+    /// Number of enclosing `while` loops.
+    pub loop_depth: usize,
+    /// Whether control can reach this statement.
+    pub reachable: bool,
+    /// `true` for the first unreachable statement of its block — the
+    /// anchor a dead-code diagnostic should attach to.
+    pub first_unreachable: bool,
+    /// When unreachable: `true` if the cut was a non-terminating
+    /// `while (true)` rather than a `return`. Lets checks avoid piling a
+    /// dead-code diagnostic on top of the loop's own never-terminates one.
+    pub dead_by_loop: bool,
+}
+
+/// Reachability as it flows through a block: whether control is live and,
+/// when it is not, whether the cut was a non-terminating loop.
+#[derive(Clone, Copy)]
+struct Reach {
+    live: bool,
+    by_loop: bool,
+}
+
+struct Walker<'a, F: FnMut(&FlowEvent<'_>)> {
+    table: &'a LockTable,
+    visit: F,
+}
+
+impl<F: FnMut(&FlowEvent<'_>)> Walker<'_, F> {
+    /// Walk `block`, threading `state` through it. `offset` is 0 for
+    /// ordinary blocks and [`ELSE_OFFSET`] when the block is an
+    /// else-branch (so emitted paths address the right branch). Returns
+    /// whether control can fall off the end of the block (`false` when an
+    /// unconditional `return` or a non-returning `while (true)`
+    /// intervenes).
+    fn walk_block(
+        &mut self,
+        block: &Block,
+        offset: usize,
+        prefix: &mut Vec<usize>,
+        state: &mut LockState,
+        loop_depth: usize,
+        mut reach: Reach,
+    ) -> bool {
+        let mut was_reachable = reach.live;
+        for (i, stmt) in block.iter().enumerate() {
+            prefix.push(offset + i);
+            let first_unreachable = was_reachable && !reach.live;
+            was_reachable = reach.live;
+            (self.visit)(&FlowEvent {
+                path: StmtPath(prefix.clone()),
+                stmt,
+                locks: state,
+                loop_depth,
+                reachable: reach.live,
+                first_unreachable,
+                dead_by_loop: reach.by_loop,
+            });
+            match stmt {
+                Stmt::Synchronized { lock, body } => {
+                    let id = self.table.resolve(lock);
+                    if let Some(id) = id {
+                        state.acquire(id);
+                    }
+                    self.walk_block(body, 0, prefix, state, loop_depth, reach);
+                    if let Some(id) = id {
+                        state.release(id);
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    // Fixpoint over the loop body. Structured sync keeps
+                    // the lock state balanced across a block, so this
+                    // converges on the first iteration; the join is kept
+                    // for generality (and checked in debug builds).
+                    let entry = state.clone();
+                    self.walk_block(body, 0, prefix, state, loop_depth + 1, reach);
+                    let changed = state.join(&entry);
+                    debug_assert!(!changed, "lock state must be balanced across a loop body");
+                    // `while (true)` has no false exit: everything after it
+                    // is unreachable. A `return` in the body exits the
+                    // whole method, not just the loop, so it cannot make
+                    // the code after the loop live either.
+                    if reach.live && matches!(cond, Expr::Bool(true)) {
+                        reach = Reach {
+                            live: false,
+                            by_loop: true,
+                        };
+                    }
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let mut then_state = state.clone();
+                    let then_falls =
+                        self.walk_block(then_branch, 0, prefix, &mut then_state, loop_depth, reach);
+                    let else_falls =
+                        self.walk_block(else_branch, ELSE_OFFSET, prefix, state, loop_depth, reach);
+                    let _ = state.join(&then_state);
+                    if reach.live && !then_falls && !else_falls && !else_branch.is_empty() {
+                        reach = Reach {
+                            live: false,
+                            by_loop: false,
+                        };
+                    }
+                }
+                Stmt::Return(_) if reach.live => {
+                    reach = Reach {
+                        live: false,
+                        by_loop: false,
+                    };
+                }
+                _ => {}
+            }
+            prefix.pop();
+        }
+        reach.live
+    }
+}
+
+/// Run the forward walk over one method, invoking `visit` once per
+/// statement in pre-order with the state *before* that statement.
+/// A `synchronized` method starts with the receiver monitor held.
+pub fn walk_method(table: &LockTable, method: &Method, visit: impl FnMut(&FlowEvent<'_>)) {
+    let mut state = LockState::empty();
+    if method.synchronized {
+        state.acquire(LockId::THIS);
+    }
+    let mut w = Walker { table, visit };
+    let mut prefix = Vec::new();
+    w.walk_block(
+        &method.body,
+        0,
+        &mut prefix,
+        &mut state,
+        0,
+        Reach {
+            live: true,
+            by_loop: false,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcc_model::ast::{Component, LockRef, Method};
+
+    fn table() -> LockTable {
+        LockTable::new(&Component {
+            name: "C".into(),
+            locks: vec!["aux".into()],
+            fields: vec![],
+            methods: vec![],
+        })
+    }
+
+    fn method(synchronized: bool, body: Block) -> Method {
+        Method {
+            name: "m".into(),
+            params: vec![],
+            ret: None,
+            synchronized,
+            body,
+        }
+    }
+
+    fn collect(
+        t: &LockTable,
+        m: &Method,
+    ) -> Vec<(StmtPath, bool, Vec<LockId>, u32, bool)> {
+        let mut out = Vec::new();
+        walk_method(t, m, |ev| {
+            out.push((
+                ev.path.clone(),
+                ev.reachable,
+                ev.locks.held_ids().collect(),
+                ev.locks.depth(LockId::THIS),
+                ev.first_unreachable,
+            ));
+        });
+        out
+    }
+
+    #[test]
+    fn synchronized_method_holds_this() {
+        let t = table();
+        let m = method(true, vec![Stmt::Wait { lock: LockRef::This }]);
+        let evs = collect(&t, &m);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].2, vec![LockId::THIS]);
+    }
+
+    #[test]
+    fn nested_sync_tracks_reentrancy_and_releases() {
+        let t = table();
+        let m = method(
+            true,
+            vec![
+                Stmt::Synchronized {
+                    lock: LockRef::This,
+                    body: vec![Stmt::Skip],
+                },
+                Stmt::Skip,
+            ],
+        );
+        let evs = collect(&t, &m);
+        // inner Skip sees depth 2; trailing Skip is back to depth 1
+        assert_eq!(evs[1].0, StmtPath(vec![0, 0]));
+        assert_eq!(evs[1].3, 2);
+        assert_eq!(evs[2].0, StmtPath(vec![1]));
+        assert_eq!(evs[2].3, 1);
+    }
+
+    #[test]
+    fn aux_lock_held_only_inside_its_region() {
+        let t = table();
+        let aux = t.resolve(&LockRef::Named("aux".into())).unwrap();
+        let m = method(
+            false,
+            vec![
+                Stmt::Synchronized {
+                    lock: LockRef::Named("aux".into()),
+                    body: vec![Stmt::Skip],
+                },
+                Stmt::Skip,
+            ],
+        );
+        let evs = collect(&t, &m);
+        assert_eq!(evs[1].2, vec![aux]);
+        assert!(evs[2].2.is_empty());
+    }
+
+    #[test]
+    fn statements_after_return_are_unreachable_and_flagged_once() {
+        let t = table();
+        let m = method(
+            false,
+            vec![Stmt::Return(None), Stmt::Skip, Stmt::Skip],
+        );
+        let evs = collect(&t, &m);
+        assert!(evs[0].1);
+        assert!(!evs[1].1 && evs[1].4, "first dead stmt flagged");
+        assert!(!evs[2].1 && !evs[2].4, "second dead stmt not re-flagged");
+    }
+
+    #[test]
+    fn while_true_cuts_off_the_rest() {
+        let t = table();
+        let m = method(
+            false,
+            vec![
+                Stmt::While {
+                    cond: Expr::Bool(true),
+                    body: vec![Stmt::Skip],
+                },
+                Stmt::Skip,
+            ],
+        );
+        let evs = collect(&t, &m);
+        assert!(!evs[2].1, "statement after while(true) is unreachable");
+    }
+
+    #[test]
+    fn unreachability_cause_distinguishes_loop_from_return() {
+        let t = table();
+        let m = method(
+            false,
+            vec![
+                Stmt::While {
+                    cond: Expr::Bool(true),
+                    body: vec![Stmt::Skip],
+                },
+                Stmt::Skip,
+            ],
+        );
+        let mut causes = Vec::new();
+        walk_method(&t, &m, |ev| causes.push((ev.reachable, ev.dead_by_loop)));
+        assert_eq!(causes[2], (false, true), "loop-caused cut is marked");
+
+        let m = method(false, vec![Stmt::Return(None), Stmt::Skip]);
+        let mut causes = Vec::new();
+        walk_method(&t, &m, |ev| causes.push((ev.reachable, ev.dead_by_loop)));
+        assert_eq!(causes[1], (false, false), "return-caused cut is not");
+    }
+
+    #[test]
+    fn if_branches_fork_and_rejoin() {
+        let t = table();
+        let m = method(
+            false,
+            vec![
+                Stmt::If {
+                    cond: Expr::Bool(true),
+                    then_branch: vec![Stmt::Return(None)],
+                    else_branch: vec![Stmt::Return(None)],
+                },
+                Stmt::Skip,
+            ],
+        );
+        let evs = collect(&t, &m);
+        // else-branch path carries the sentinel
+        assert_eq!(evs[2].0, StmtPath(vec![0, ELSE_OFFSET]));
+        assert!(!evs[3].1, "both branches return: join is unreachable");
+    }
+
+    #[test]
+    fn if_with_one_returning_branch_still_falls_through() {
+        let t = table();
+        let m = method(
+            false,
+            vec![
+                Stmt::If {
+                    cond: Expr::Bool(true),
+                    then_branch: vec![Stmt::Return(None)],
+                    else_branch: vec![],
+                },
+                Stmt::Skip,
+            ],
+        );
+        let evs = collect(&t, &m);
+        assert!(evs.last().unwrap().1);
+    }
+
+    #[test]
+    fn join_is_pointwise_min() {
+        let mut a = LockState::empty();
+        a.acquire(LockId(0));
+        a.acquire(LockId(0));
+        a.acquire(LockId(1));
+        let mut b = LockState::empty();
+        b.acquire(LockId(0));
+        assert!(a.join(&b));
+        assert_eq!(a.depth(LockId(0)), 1);
+        assert!(!a.holds(LockId(1)));
+    }
+}

@@ -1,6 +1,6 @@
 //! # jcc-bench — experiment regeneration and benchmarks
 //!
-//! One binary per experiment of `DESIGN.md` §7 (`cargo run -p jcc-bench
+//! One binary per experiment of `DESIGN.md` §8 (`cargo run -p jcc-bench
 //! --bin <name>`):
 //!
 //! | binary                  | regenerates                                  |
@@ -14,5 +14,6 @@
 //! | `e7_detectors`          | E7 — Eraser lockset + lock-order cycles      |
 //! | `e8_statespace`         | E8 — state-space growth                      |
 //! | `e9_ablation`           | E9 — arc-only vs strengthened suite criteria |
+//! | `e10_static_analysis`   | E10 — static analyzer precision/recall       |
 //!
 //! Criterion benchmarks live in `benches/`.

@@ -4,6 +4,7 @@
 
 use std::collections::BTreeSet;
 
+use jcc_analyze::AnalysisReport;
 use jcc_cofg::{build_component_cofgs, Cofg};
 use jcc_detect::classify::{classify_explore, classify_outcome, Finding};
 use jcc_model::mutate::{all_mutants, Mutation};
@@ -24,6 +25,9 @@ pub struct Pipeline {
     pub compiled: CompiledComponent,
     /// One CoFG per method.
     pub cofgs: Vec<Cofg>,
+    /// Static Table-1 analysis of the source model (`jcc-analyze`):
+    /// diagnostics the component earns before a single test runs.
+    pub analysis: AnalysisReport,
 }
 
 impl Pipeline {
@@ -45,10 +49,15 @@ impl Pipeline {
             let _span = jcc_obs::span!("pipeline.cofg");
             build_component_cofgs(&component)
         };
+        let analysis = {
+            let _span = jcc_obs::span!("pipeline.analyze");
+            jcc_analyze::analyze(&component)
+        };
         Ok(Pipeline {
             component,
             compiled,
             cofgs,
+            analysis,
         })
     }
 
@@ -333,9 +342,17 @@ mod tests {
 
     #[test]
     fn pipeline_builds_for_corpus() {
-        for (_name, c) in examples::corpus() {
+        for (name, c) in examples::corpus() {
             let p = Pipeline::new(c).unwrap();
             assert!(p.total_arcs() >= 5);
+            // The static pass runs as part of preparation and must stay
+            // silent at High severity on the correct corpus.
+            assert_eq!(
+                p.analysis.count(jcc_analyze::Severity::High),
+                0,
+                "{name}: {}",
+                p.analysis.render()
+            );
         }
     }
 

@@ -3,8 +3,10 @@
 
 use std::fmt::Write as _;
 
+use jcc_analyze::{AnalysisReport, Severity};
 use jcc_cofg::Cofg;
 use jcc_cofg::coverage::CoverageTracker;
+use jcc_detect::classify::Finding;
 
 use crate::hazop::TableRow;
 use crate::pipeline::MutationStudyResult;
@@ -121,6 +123,63 @@ pub fn render_study(result: &MutationStudyResult) -> String {
     out
 }
 
+/// Render the static analyzer's verdict next to dynamically classified
+/// findings: what the analyzer predicted from the source alone, and what
+/// the VM actually observed. The two views share Table-1 class codes, so
+/// agreement (or a miss on either side) is visible at a glance.
+pub fn render_findings(analysis: &AnalysisReport, dynamic: &[Finding]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Static analysis ({} prediction)", jcc_analyze::SCHEMA);
+    if analysis.diagnostics.is_empty() {
+        let _ = writeln!(out, "  no diagnostics");
+    } else {
+        for line in analysis.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    let _ = writeln!(out, "Dynamic classification (observed)");
+    if dynamic.is_empty() {
+        let _ = writeln!(out, "  no findings");
+    } else {
+        for f in dynamic {
+            let _ = writeln!(out, "  {f}");
+        }
+    }
+    let static_classes = analysis.classes(Severity::Medium);
+    let dynamic_classes: std::collections::BTreeSet<String> =
+        dynamic.iter().map(|f| f.class.code()).collect();
+    let confirmed: Vec<&String> = dynamic_classes
+        .iter()
+        .filter(|c| static_classes.contains(*c))
+        .collect();
+    let missed: Vec<&String> = dynamic_classes
+        .iter()
+        .filter(|c| !static_classes.contains(*c))
+        .collect();
+    let _ = writeln!(
+        out,
+        "Agreement: {} class(es) predicted and observed{}{}",
+        confirmed.len(),
+        if confirmed.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({})",
+                confirmed.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            )
+        },
+        if missed.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "; observed but not predicted: {}",
+                missed.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            )
+        }
+    );
+    out
+}
+
 fn tick(b: bool) -> &'static str {
     if b {
         "yes"
@@ -158,6 +217,40 @@ mod tests {
         assert!(text.contains("1. "));
         assert!(text.contains("5. "));
         assert!(!text.contains("6. "));
+    }
+
+    #[test]
+    fn findings_report_combines_static_and_dynamic() {
+        use crate::pipeline::Pipeline;
+        use jcc_vm::{CallSpec, ExploreConfig, ThreadSpec};
+
+        let p = Pipeline::new(jcc_model::examples::lock_order_deadlock()).unwrap();
+        let scenario = vec![
+            ThreadSpec {
+                name: "f".into(),
+                calls: vec![CallSpec::new("forward", vec![])],
+            },
+            ThreadSpec {
+                name: "b".into(),
+                calls: vec![CallSpec::new("backward", vec![])],
+            },
+        ];
+        let findings = p.explore_and_classify(&scenario, &ExploreConfig::default());
+        let text = render_findings(&p.analysis, &findings);
+        assert!(text.contains("Static analysis"), "{text}");
+        assert!(text.contains("lock-order-cycle"), "{text}");
+        assert!(text.contains("Dynamic classification"), "{text}");
+        assert!(text.contains("FF-T2"), "{text}");
+        assert!(text.contains("predicted and observed (FF-T2)"), "{text}");
+    }
+
+    #[test]
+    fn findings_report_handles_clean_runs() {
+        use crate::pipeline::Pipeline;
+        let p = Pipeline::new(jcc_model::examples::producer_consumer()).unwrap();
+        let text = render_findings(&p.analysis, &[]);
+        assert!(text.contains("no findings"), "{text}");
+        assert!(text.contains("Agreement: 0 class(es)"), "{text}");
     }
 
     #[test]

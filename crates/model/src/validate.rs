@@ -126,6 +126,11 @@ impl fmt::Display for ValidationError {
 impl std::error::Error for ValidationError {}
 
 /// A non-fatal lint finding.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `jcc_analyze::analyze`, which reports these checks \
+            (and many more) as severity-ranked, failure-class-keyed diagnostics"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Lint {
     /// A `wait` whose immediately enclosing statement is not a `while` loop.
@@ -531,16 +536,37 @@ fn expect_type(ctx: &mut MethodCtx<'_>, expr: &Expr, expected: Type, context: &s
     }
 }
 
+/// Resolve a lock reference to its dense identity within the component:
+/// `this` is 0, the `i`-th declared lock is `1 + i`. `None` means the lock
+/// was never declared — distinct from every real monitor.
+fn lock_identity(component: &Component, lock: &LockRef) -> Option<usize> {
+    match lock {
+        LockRef::This => Some(0),
+        LockRef::Named(n) => component.locks.iter().position(|l| l == n).map(|i| i + 1),
+    }
+}
+
 /// Run the non-fatal lints over a (valid) component.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `jcc_analyze::analyze`, which reports these checks \
+            (and many more) as severity-ranked, failure-class-keyed diagnostics"
+)]
+#[allow(deprecated)]
 pub fn lints(component: &Component) -> Vec<Lint> {
     let mut out = Vec::new();
 
-    // Collect, per lock, whether anything notifies it.
-    let mut notified: Vec<String> = Vec::new();
+    // Collect which monitors anything notifies — by lock *identity*
+    // resolved through the declared-lock table (a name comparison would
+    // conflate the receiver with an auxiliary lock spelled `this`), deduped
+    // as a set rather than a grow-per-notify vector.
+    let mut notified: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     for method in &component.methods {
         crate::ast::visit_stmts(&method.body, &mut |s| {
             if let Stmt::Notify { lock } | Stmt::NotifyAll { lock } = s {
-                notified.push(lock.to_string());
+                if let Some(id) = lock_identity(component, lock) {
+                    notified.insert(id);
+                }
             }
         });
     }
@@ -550,11 +576,11 @@ pub fn lints(component: &Component) -> Vec<Lint> {
         // FF-T5 structural check: waits with no possible notifier.
         crate::ast::visit_stmts(&method.body, &mut |s| {
             if let Stmt::Wait { lock } = s {
-                let lname = lock.to_string();
-                if !notified.contains(&lname) {
+                let waited = lock_identity(component, lock);
+                if waited.is_none() || !notified.contains(&waited.unwrap()) {
                     out.push(Lint::NoNotifierForWait {
                         method: method.name.clone(),
-                        lock: lname,
+                        lock: lock.to_string(),
                     });
                 }
             }
@@ -590,6 +616,7 @@ pub fn lints(component: &Component) -> Vec<Lint> {
     out
 }
 
+#[allow(deprecated)]
 fn lint_block(block: &Block, method: &Method, in_while: bool, out: &mut Vec<Lint>) {
     for stmt in block {
         match stmt {
@@ -656,6 +683,7 @@ fn for_each_expr_in_block(block: &Block, f: &mut impl FnMut(&Expr)) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated `lints` shim on purpose
 mod tests {
     use super::*;
     use crate::parser::parse_component;
@@ -779,6 +807,53 @@ mod tests {
         .unwrap();
         let l = lints(&c);
         assert!(l.iter().any(|l| matches!(l, Lint::NoNotifierForWait { .. })));
+    }
+
+    #[test]
+    fn no_notifier_resolves_lock_identity_not_name() {
+        use crate::ast::{Component, Field, Method};
+        // An auxiliary lock *named* "this" is a different monitor from the
+        // receiver. The old implementation compared display names and
+        // treated a notify on the named lock as satisfying a wait on the
+        // receiver; identity resolution through the lock table must not.
+        let c = Component {
+            name: "X".into(),
+            locks: vec!["this".into()],
+            fields: vec![Field {
+                name: "v".into(),
+                ty: Type::Int,
+                init: Expr::Int(0),
+            }],
+            methods: vec![
+                Method {
+                    name: "waiter".into(),
+                    params: vec![],
+                    ret: None,
+                    synchronized: true,
+                    body: vec![Stmt::While {
+                        cond: Expr::eq(Expr::field("v"), Expr::Int(0)),
+                        body: vec![Stmt::Wait { lock: LockRef::This }],
+                    }],
+                },
+                Method {
+                    name: "poker".into(),
+                    params: vec![],
+                    ret: None,
+                    synchronized: false,
+                    body: vec![Stmt::Synchronized {
+                        lock: LockRef::Named("this".into()),
+                        body: vec![Stmt::NotifyAll {
+                            lock: LockRef::Named("this".into()),
+                        }],
+                    }],
+                },
+            ],
+        };
+        let l = lints(&c);
+        assert!(
+            l.iter().any(|l| matches!(l, Lint::NoNotifierForWait { .. })),
+            "notify on the aux lock must not satisfy a wait on the receiver: {l:?}"
+        );
     }
 
     #[test]

@@ -116,8 +116,16 @@ fn pipeline_reports_lints_for_suspect_components() {
     .unwrap();
     // Valid but suspicious: wait outside a loop and no notifier anywhere.
     assert!(jcc_core::model::validate(&component).is_empty());
+    // The deprecated lint shim keeps working for old callers…
+    #[allow(deprecated)]
     let lints = jcc_core::model::validate::lints(&component);
     assert!(lints.len() >= 2, "expected wait-not-in-loop and no-notifier lints: {lints:?}");
+    // …and the analyzer that supersedes it reports the same defects with
+    // failure classes and severities attached.
+    let report = jcc_core::analyze::analyze(&component);
+    let classes = report.classes(jcc_core::analyze::Severity::Medium);
+    assert!(classes.contains("EF-T5"), "{}", report.render());
+    assert!(classes.contains("FF-T5"), "{}", report.render());
 }
 
 #[test]

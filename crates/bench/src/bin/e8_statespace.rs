@@ -3,11 +3,12 @@
 
 use std::time::Instant;
 
+use jcc_core::cofg::{build_component_cofgs, CoverageTracker};
 use jcc_core::model::examples;
 use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
 use jcc_core::vm::{
-    compile, explore, explore_portfolio, CallSpec, ExploreConfig, PortfolioConfig, ThreadSpec,
-    Value, Vm,
+    compile, explore, explore_portfolio, timeline_of_outcome, CallSpec, ExploreConfig,
+    PortfolioConfig, RunConfig, ThreadSpec, Value, Vm,
 };
 
 fn main() {
@@ -53,6 +54,7 @@ fn main() {
     );
     let component = examples::producer_consumer();
     let compiled = compile(&component).unwrap();
+    let mut tracker = CoverageTracker::new(build_component_cofgs(&component));
     for consumers in 1..=3 {
         let mut threads = vec![ThreadSpec {
             name: "p".into(),
@@ -68,7 +70,7 @@ fn main() {
             });
         }
         let vm = Vm::new(compiled.clone(), threads);
-        let r = explore(vm, &ExploreConfig::default(), None);
+        let r = explore(vm, &ExploreConfig::default(), Some(&mut tracker));
         say!(
             "{:>10} {:>10} {:>12} {:>11} {:>10}",
             consumers, r.states, r.transitions, r.completed_paths, r.deadlock_paths
@@ -79,6 +81,35 @@ fn main() {
          receives one character and the send provides exactly enough, so no schedule \
          deadlocks)"
     );
+    let arc_coverage_pct = tracker.ratio() * 100.0;
+    say!(
+        "CoFG arc coverage over all explored schedules: {}/{} ({arc_coverage_pct:.1}%)",
+        tracker.covered_arcs(),
+        tracker.total_arcs()
+    );
+    reporter.set_derived("arc_coverage_pct", arc_coverage_pct);
+
+    // One concrete schedule's causal timeline, exported in Chrome Trace
+    // Event Format (load the file in Perfetto / chrome://tracing). The
+    // timeline is a pure function of the recorded trace, so this costs the
+    // benchmark nothing and can never change a result.
+    {
+        let mut threads = vec![ThreadSpec {
+            name: "producer".into(),
+            calls: vec![CallSpec::new("send", vec![Value::Str("xxx".into())])],
+        }];
+        for i in 0..3 {
+            threads.push(ThreadSpec {
+                name: format!("consumer-{i}"),
+                calls: vec![CallSpec::new("receive", vec![])],
+            });
+        }
+        let mut vm = Vm::new(compiled.clone(), threads);
+        let outcome = vm.run(&RunConfig::default());
+        let cofgs = build_component_cofgs(&component);
+        let timeline = timeline_of_outcome(&outcome, Some(&cofgs));
+        reporter.write_chrome_trace(&timeline);
+    }
 
     say!("\n--- sequential vs parallel throughput ---");
     // At least two workers, so the parallel engine is exercised even on a
@@ -212,6 +243,14 @@ fn main() {
         parallelism: Parallelism::sequential(),
         ..ReachLimits::default()
     };
+    // Warm BOTH arms untimed first: whichever arm runs first in a cold
+    // process pays allocator/cache warm-up for both, which used to skew the
+    // subtraction negative (the "observed" arm looked *faster* than off).
+    jcc_core::obs::set_level(jcc_core::obs::ObsLevel::Off);
+    let warm_off = ReachGraph::explore(big.net(), seq_limits);
+    jcc_core::obs::set_level(jcc_core::obs::ObsLevel::Summary);
+    let warm_on = ReachGraph::explore(big.net(), seq_limits);
+    assert_eq!(warm_off.stats(), warm_on.stats());
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
     let mut states_off = 0usize;
@@ -231,12 +270,18 @@ fn main() {
     }
     jcc_core::obs::set_level(saved_level);
     assert_eq!(states_off, states_on, "observation must not change results");
-    let overhead_pct = (best_on - best_off) / best_off * 100.0;
+    // Anything the subtraction says below zero is measurement noise, not a
+    // speedup from observing: report the raw residue separately so a noisy
+    // host is visible, but never let it masquerade as negative overhead.
+    let raw_overhead_pct = (best_on - best_off) / best_off * 100.0;
+    let overhead_pct = raw_overhead_pct.max(0.0);
+    let noise_floor_pct = (-raw_overhead_pct).max(0.0);
     say!(
-        "\n--- obs overhead (petri reach N=6, {} states, best of 3) ---\n\
-         off: {:.4}s, summary: {:.4}s -> overhead {:+.2}% (budget: < 5%)",
-        states_off, best_off, best_on, overhead_pct
+        "\n--- obs overhead (petri reach N=6, {} states, warmed, best of 3) ---\n\
+         off: {:.4}s, summary: {:.4}s -> overhead {:.2}% (noise floor {:.2}%, budget: < 5%)",
+        states_off, best_off, best_on, overhead_pct, noise_floor_pct
     );
     reporter.set_derived("obs_overhead_pct", overhead_pct);
+    reporter.set_derived("obs_noise_floor_pct", noise_floor_pct);
     reporter.finish();
 }

@@ -1,4 +1,5 @@
-//! Throughput regression guard for the e8 state-space benchmark.
+//! Throughput and coverage regression guard for the e8 state-space
+//! benchmark.
 //!
 //! Compares the `states_per_sec` figure of a freshly generated
 //! `BENCH_e8.json` run report against the checked-in baseline in
@@ -7,6 +8,14 @@
 //! so an accidental hot-path regression (a re-boxed marking, a dropped
 //! interner, a hash gone quadratic) fails the build instead of landing
 //! silently.
+//!
+//! When the baseline also carries an `arc_coverage_pct` figure (CoFG arc
+//! coverage unioned over e8's exhaustive explorations), the guard
+//! additionally fails if the current run's coverage dropped by more than
+//! half a percentage point — or lost the figure entirely. Coverage is a
+//! correctness signal, not a timing: there is no noise head-room to grant,
+//! only the epsilon for float formatting. Baselines without the key skip
+//! the check (back-compat with pre-coverage reports).
 //!
 //! The comparison is deliberately one-sided: runs *faster* than baseline
 //! always pass, and the baseline is only ratcheted up by hand (update
@@ -24,18 +33,22 @@ use std::process::ExitCode;
 /// Fraction of baseline throughput a run must reach to pass.
 const FLOOR: f64 = 0.8;
 
-/// Extract the value of the exact top-level-or-nested key
-/// `"states_per_sec"` from a JSON document with a quoted-token scan.
+/// Percentage points of arc coverage a run may lose before failing —
+/// float-formatting slack only, coverage is not a timing.
+const COVERAGE_EPSILON: f64 = 0.5;
+
+/// Extract the value of the exact quoted key `"{key}"` from a JSON
+/// document with a quoted-token scan.
 ///
 /// The run report is machine-written by `jcc_obs::BenchReporter` with
 /// sorted string keys and no string values containing the token, so a full
 /// JSON parser buys nothing here — and the bench crate stays free of one.
-/// The quoted match (`"states_per_sec"` including both quotes) cannot
-/// confuse the longer `packed_`/`boxed_states_per_sec` derived keys.
-fn states_per_sec(json: &str) -> Option<f64> {
-    let key = "\"states_per_sec\"";
-    let at = json.find(key)?;
-    let rest = json[at + key.len()..].trim_start().strip_prefix(':')?;
+/// The quoted match (both quotes included) cannot confuse a longer
+/// suffix-sharing key (`packed_states_per_sec` vs `states_per_sec`).
+fn quoted_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start().strip_prefix(':')?;
     let rest = rest.trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
@@ -43,11 +56,14 @@ fn states_per_sec(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn read_rate(path: &str, what: &str) -> Result<f64, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("perf_guard: cannot read {what} {path}: {e}"))?;
-    states_per_sec(&text)
-        .ok_or_else(|| format!("perf_guard: no \"states_per_sec\" figure in {what} {path}"))
+/// The e8 throughput figure.
+fn states_per_sec(json: &str) -> Option<f64> {
+    quoted_number(json, "states_per_sec")
+}
+
+fn read_report(path: &str, what: &str) -> Result<String, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("perf_guard: cannot read {what} {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -55,9 +71,9 @@ fn main() -> ExitCode {
     let current_path = args.next().unwrap_or_else(|| "BENCH_e8.json".into());
     let baseline_path = args.next().unwrap_or_else(|| "ci/bench_baseline.json".into());
 
-    let (current, baseline) = match (
-        read_rate(&current_path, "run report"),
-        read_rate(&baseline_path, "baseline"),
+    let (current_text, baseline_text) = match (
+        read_report(&current_path, "run report"),
+        read_report(&baseline_path, "baseline"),
     ) {
         (Ok(c), Ok(b)) => (c, b),
         (c, b) => {
@@ -67,7 +83,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let (current, baseline) = match (
+        states_per_sec(&current_text),
+        states_per_sec(&baseline_text),
+    ) {
+        (Some(c), Some(b)) => (c, b),
+        (c, b) => {
+            if c.is_none() {
+                eprintln!(
+                    "perf_guard: no \"states_per_sec\" figure in run report {current_path}"
+                );
+            }
+            if b.is_none() {
+                eprintln!("perf_guard: no \"states_per_sec\" figure in baseline {baseline_path}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
 
+    let mut failed = false;
     let floor = baseline * FLOOR;
     let ratio = current / baseline.max(1e-9);
     println!(
@@ -79,6 +113,36 @@ fn main() -> ExitCode {
             "perf_guard: FAIL — throughput regressed more than {:.0}% below baseline",
             (1.0 - FLOOR) * 100.0
         );
+        failed = true;
+    }
+
+    // Coverage gate: only when the baseline knows the figure.
+    if let Some(base_cov) = quoted_number(&baseline_text, "arc_coverage_pct") {
+        match quoted_number(&current_text, "arc_coverage_pct") {
+            None => {
+                eprintln!(
+                    "perf_guard: FAIL — baseline has arc_coverage_pct ({base_cov:.1}) but \
+                     the run report lost the figure"
+                );
+                failed = true;
+            }
+            Some(cur_cov) => {
+                println!(
+                    "perf_guard: arc_coverage_pct current {cur_cov:.1} vs baseline \
+                     {base_cov:.1} (epsilon {COVERAGE_EPSILON})"
+                );
+                if cur_cov < base_cov - COVERAGE_EPSILON {
+                    eprintln!(
+                        "perf_guard: FAIL — arc coverage dropped more than \
+                         {COVERAGE_EPSILON} points below baseline"
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if failed {
         return ExitCode::FAILURE;
     }
     println!("perf_guard: OK");
@@ -105,5 +169,12 @@ mod tests {
     #[test]
     fn scientific_notation_parses() {
         assert_eq!(states_per_sec(r#"{"states_per_sec":1.25e5}"#), Some(1.25e5));
+    }
+
+    #[test]
+    fn coverage_key_extracts_like_throughput() {
+        let json = r#"{"derived":{"arc_coverage_pct":100,"states_per_sec":5.0}}"#;
+        assert_eq!(quoted_number(json, "arc_coverage_pct"), Some(100.0));
+        assert_eq!(quoted_number(json, "absent_key"), None);
     }
 }

@@ -16,4 +16,10 @@
 //! | `e9_ablation`           | E9 — arc-only vs strengthened suite criteria |
 //! | `e10_static_analysis`   | E10 — static analyzer precision/recall       |
 //!
+//! Two operational binaries ride along: `perf_guard` (single-run
+//! throughput/coverage gate against `ci/bench_baseline.json`) and
+//! `jcc-report` (the cross-run regression ledger: diffs two or more
+//! `BENCH_*.json` run reports into `jcc-ledger/v1` JSON plus a human
+//! table, `--gate` for CI).
+//!
 //! Criterion benchmarks live in `benches/`.

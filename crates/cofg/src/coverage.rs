@@ -66,6 +66,8 @@ impl SiteId {
 pub struct CoverageTracker {
     cofgs: HashMap<String, Cofg>,
     covered: HashMap<String, Vec<bool>>,
+    /// Per-method arc traversal counts (same indexing as `covered`).
+    hits: HashMap<String, Vec<u64>>,
     /// Active invocation per thread: (method, last node).
     last: HashMap<u64, (String, NodeId)>,
     /// Events that could not be attributed to an arc (unknown method,
@@ -78,13 +80,16 @@ impl CoverageTracker {
     pub fn new(cofgs: impl IntoIterator<Item = Cofg>) -> Self {
         let mut map = HashMap::new();
         let mut covered = HashMap::new();
+        let mut hits = HashMap::new();
         for g in cofgs {
             covered.insert(g.method.clone(), vec![false; g.arcs.len()]);
+            hits.insert(g.method.clone(), vec![0; g.arcs.len()]);
             map.insert(g.method.clone(), g);
         }
         CoverageTracker {
             cofgs: map,
             covered,
+            hits,
             last: HashMap::new(),
             strays: 0,
         }
@@ -139,7 +144,10 @@ impl CoverageTracker {
     fn cover(&mut self, method: &str, from: NodeId, to: NodeId) {
         let cofg = &self.cofgs[method];
         match cofg.arc_between(from, to) {
-            Some(idx) => self.covered.get_mut(method).unwrap()[idx] = true,
+            Some(idx) => {
+                self.covered.get_mut(method).unwrap()[idx] = true;
+                self.hits.get_mut(method).unwrap()[idx] += 1;
+            }
             None => self.strays += 1,
         }
     }
@@ -199,12 +207,46 @@ impl CoverageTracker {
         out
     }
 
+    /// Per-arc traversal counts for `method`, indexed like the CoFG's arc
+    /// list. `None` for an unknown method.
+    pub fn arc_hits(&self, method: &str) -> Option<&[u64]> {
+        self.hits.get(method).map(Vec::as_slice)
+    }
+
+    /// Whether `method`'s arc `idx` has been covered.
+    pub fn arc_covered(&self, method: &str, idx: usize) -> bool {
+        self.covered
+            .get(method)
+            .and_then(|v| v.get(idx))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The CoFG this tracker holds for `method`, when known.
+    pub fn cofg(&self, method: &str) -> Option<&Cofg> {
+        self.cofgs.get(method)
+    }
+
+    /// Method names this tracker covers, sorted.
+    pub fn methods(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.covered.keys().map(String::as_str).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Merge coverage from another tracker over the same CoFGs.
     pub fn merge(&mut self, other: &CoverageTracker) {
         for (method, bits) in &other.covered {
             if let Some(mine) = self.covered.get_mut(method) {
                 for (a, b) in mine.iter_mut().zip(bits) {
                     *a |= b;
+                }
+            }
+        }
+        for (method, counts) in &other.hits {
+            if let Some(mine) = self.hits.get_mut(method) {
+                for (a, b) in mine.iter_mut().zip(counts) {
+                    *a += b;
                 }
             }
         }
@@ -295,6 +337,25 @@ mod tests {
         t.record(1, &SiteId::start("send"));
         t.record(1, &SiteId::stmt("send", StmtPath(vec![99])));
         assert_eq!(t.strays, 3);
+    }
+
+    #[test]
+    fn arc_hits_count_traversals() {
+        let mut t = tracker();
+        // Two straight sends: start -> notifyAll -> end, twice.
+        for _ in 0..2 {
+            t.record(1, &SiteId::start("send"));
+            t.record(1, &SiteId::stmt("send", StmtPath(vec![4])));
+            t.record(1, &SiteId::end("send"));
+        }
+        let hits = t.arc_hits("send").unwrap();
+        assert_eq!(hits.iter().sum::<u64>(), 4, "{hits:?}");
+        assert_eq!(hits.iter().filter(|&&n| n == 2).count(), 2);
+        for (i, &n) in hits.iter().enumerate() {
+            assert_eq!(t.arc_covered("send", i), n > 0);
+        }
+        assert!(t.arc_hits("ghost").is_none());
+        assert_eq!(t.methods(), vec!["receive", "send"]);
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub mod pipeline;
 pub mod report;
 
 pub use hazop::{generate_table, DetectionTechnique, TableRow};
-pub use pipeline::{mutation_study, MutationStudyConfig, MutationStudyResult, Pipeline};
+pub use pipeline::{
+    mutation_study, ArcHeat, MutationStudyConfig, MutationStudyResult, Pipeline, ScheduleEvidence,
+};
 
 // The whole workspace, re-exported for downstream users: `jcc_core::vm`,
 // `jcc_core::cofg`, … give one-stop access to the substrates.

@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use jcc_analyze::AnalysisReport;
-use jcc_cofg::{build_component_cofgs, Cofg};
+use jcc_cofg::{build_component_cofgs, Cofg, CoverageTracker};
 use jcc_detect::classify::{classify_explore, classify_outcome, Finding};
 use jcc_model::mutate::{all_mutants, Mutation};
 use jcc_model::validate::{validate, ValidationError};
@@ -14,7 +14,10 @@ use jcc_petri::{parallel_map, Parallelism};
 use jcc_testgen::scenario::{Scenario, ScenarioSpace};
 use jcc_testgen::signature::{enumerate_signatures, run_signature, EnumLimits, Signature};
 use jcc_testgen::suite::{greedy_cover_suite, random_suite, CoverageSuite, GreedyConfig};
-use jcc_vm::{compile, explore, CompiledComponent, ExploreConfig, RunConfig, RunOutcome, Scheduler, Vm};
+use jcc_vm::{
+    compile, explore, timeline_of_outcome, trace::apply_trace, CompiledComponent, ExploreConfig,
+    RunConfig, RunOutcome, Scheduler, Vm,
+};
 
 /// A prepared component: validated, compiled, with CoFGs built.
 #[derive(Debug)]
@@ -102,9 +105,95 @@ impl Pipeline {
         scenario: &Scenario,
         config: &ExploreConfig,
     ) -> Vec<Finding> {
+        self.explore_evidence(scenario, config, None).findings
+    }
+
+    /// Exhaustively explore one scenario and keep the *evidence*, not just
+    /// the verdict: the deterministic witness schedule, its causal
+    /// timeline (with CoFG arcs stamped on each interval), and per-arc
+    /// heat — how often the failing schedule traversed each arc, next to
+    /// whether the `directed` suite covered it at all.
+    pub fn explore_evidence(
+        &self,
+        scenario: &Scenario,
+        config: &ExploreConfig,
+        directed: Option<&CoverageTracker>,
+    ) -> ScheduleEvidence {
         let vm = Vm::new(self.compiled.clone(), scenario.clone());
         let result = explore(vm, config, None);
-        classify_explore(&result)
+        let findings = classify_explore(&result);
+        let witness = result.first_witness().cloned();
+        let mut timeline = None;
+        let mut arc_heat = Vec::new();
+        if let Some(w) = &witness {
+            timeline = Some(timeline_of_outcome(w, Some(&self.cofgs)));
+            let mut tracker = CoverageTracker::new(self.cofgs.clone());
+            apply_trace(&w.trace, &mut tracker);
+            for method in tracker.methods() {
+                let (hits, cofg) = match (tracker.arc_hits(method), tracker.cofg(method)) {
+                    (Some(h), Some(g)) => (h, g),
+                    _ => continue,
+                };
+                for (idx, &count) in hits.iter().enumerate() {
+                    arc_heat.push(ArcHeat {
+                        method: method.to_string(),
+                        arc: cofg.describe_arc(idx),
+                        hits: count,
+                        directed: directed.is_some_and(|d| d.arc_covered(method, idx)),
+                    });
+                }
+            }
+        }
+        ScheduleEvidence {
+            findings,
+            witness,
+            timeline,
+            arc_heat,
+        }
+    }
+}
+
+/// One CoFG arc's heat in a failing schedule: traversal count in the
+/// witness versus coverage by the directed suite. The interesting rows are
+/// the hot-but-undirected ones — arcs the failure needs that the suite
+/// never exercises.
+#[derive(Debug, Clone)]
+pub struct ArcHeat {
+    /// Method owning the arc.
+    pub method: String,
+    /// Human-readable arc description (`Cofg::describe_arc`).
+    pub arc: String,
+    /// How many times the witness schedule traversed the arc.
+    pub hits: u64,
+    /// Whether the directed suite covered the arc (always `false` when no
+    /// suite tracker was supplied).
+    pub directed: bool,
+}
+
+/// Everything [`Pipeline::explore_evidence`] learns from exploring one
+/// scenario: the classified findings plus — when any schedule failed — the
+/// deterministic witness, its causal timeline and per-arc heat.
+#[derive(Debug)]
+pub struct ScheduleEvidence {
+    /// Classified Table-1 findings (same as [`Pipeline::explore_and_classify`]).
+    pub findings: Vec<Finding>,
+    /// The deterministic first witness (deadlock, then fault, then cycle),
+    /// or `None` when every schedule completed cleanly.
+    pub witness: Option<RunOutcome>,
+    /// Causal timeline of the witness schedule, arcs stamped.
+    pub timeline: Option<jcc_obs::Timeline>,
+    /// Per-arc heat of the witness, one row per CoFG arc.
+    pub arc_heat: Vec<ArcHeat>,
+}
+
+impl ScheduleEvidence {
+    /// Arcs the failing schedule traversed that the directed suite never
+    /// covered — the coverage gap the failure exposes.
+    pub fn hot_uncovered(&self) -> Vec<&ArcHeat> {
+        self.arc_heat
+            .iter()
+            .filter(|h| h.hits > 0 && !h.directed)
+            .collect()
     }
 }
 

@@ -9,7 +9,7 @@ use jcc_cofg::coverage::CoverageTracker;
 use jcc_detect::classify::Finding;
 
 use crate::hazop::TableRow;
-use crate::pipeline::MutationStudyResult;
+use crate::pipeline::{MutationStudyResult, ScheduleEvidence};
 
 /// Render Table 1 — the concurrency failure classification — in the
 /// paper's column layout.
@@ -127,6 +127,52 @@ pub fn render_study(result: &MutationStudyResult) -> String {
 /// findings: what the analyzer predicted from the source alone, and what
 /// the VM actually observed. The two views share Table-1 class codes, so
 /// agreement (or a miss on either side) is visible at a glance.
+///
+/// Pass `evidence` (from [`crate::pipeline::Pipeline::explore_evidence`])
+/// to additionally print the failing schedule itself — an ASCII causal
+/// timeline of the deterministic witness — and the CoFG arc-heat table
+/// showing which arcs the failure traversed versus what the directed
+/// suite covers.
+pub fn render_findings_with_evidence(
+    analysis: &AnalysisReport,
+    dynamic: &[Finding],
+    evidence: Option<&ScheduleEvidence>,
+) -> String {
+    let mut out = render_findings(analysis, dynamic);
+    let Some(ev) = evidence else { return out };
+    if let Some(timeline) = &ev.timeline {
+        let _ = writeln!(out, "Failing schedule (deterministic witness):");
+        for line in timeline.render_ascii().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    if !ev.arc_heat.is_empty() {
+        let _ = writeln!(out, "CoFG arc heat (witness traversals vs directed suite):");
+        let _ = writeln!(out, "  {:>5} {:>8}  arc", "hits", "directed");
+        for row in &ev.arc_heat {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>8}  {}: {}",
+                row.hits,
+                tick(row.directed),
+                row.method,
+                row.arc
+            );
+        }
+        let gap = ev.hot_uncovered();
+        if !gap.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {} arc(s) the failure traversed that the directed suite never covers",
+                gap.len()
+            );
+        }
+    }
+    out
+}
+
+/// Render the static-vs-dynamic comparison without schedule evidence.
+/// Shorthand for [`render_findings_with_evidence`] with `None`.
 pub fn render_findings(analysis: &AnalysisReport, dynamic: &[Finding]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Static analysis ({} prediction)", jcc_analyze::SCHEMA);
@@ -235,13 +281,22 @@ mod tests {
                 calls: vec![CallSpec::new("backward", vec![])],
             },
         ];
-        let findings = p.explore_and_classify(&scenario, &ExploreConfig::default());
-        let text = render_findings(&p.analysis, &findings);
+        let evidence = p.explore_evidence(&scenario, &ExploreConfig::default(), None);
+        let text = render_findings_with_evidence(&p.analysis, &evidence.findings, Some(&evidence));
         assert!(text.contains("Static analysis"), "{text}");
         assert!(text.contains("lock-order-cycle"), "{text}");
         assert!(text.contains("Dynamic classification"), "{text}");
         assert!(text.contains("FF-T2"), "{text}");
         assert!(text.contains("predicted and observed (FF-T2)"), "{text}");
+        // The witness timeline and arc heat ride along.
+        assert!(text.contains("Failing schedule (deterministic witness):"), "{text}");
+        assert!(text.contains("causal timeline (clock: steps"), "{text}");
+        assert!(text.contains("CoFG arc heat"), "{text}");
+        // No directed tracker supplied, so every traversed arc is a gap.
+        assert!(
+            text.contains("the directed suite never covers"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -251,6 +306,26 @@ mod tests {
         let text = render_findings(&p.analysis, &[]);
         assert!(text.contains("no findings"), "{text}");
         assert!(text.contains("Agreement: 0 class(es)"), "{text}");
+        // A clean exploration has no witness: the evidence-aware renderer
+        // prints neither a timeline nor an arc-heat table.
+        use jcc_vm::{CallSpec, ExploreConfig, ThreadSpec, Value};
+        let scenario = vec![
+            ThreadSpec {
+                name: "c".into(),
+                calls: vec![CallSpec::new("receive", vec![])],
+            },
+            ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            },
+        ];
+        let evidence = p.explore_evidence(&scenario, &ExploreConfig::default(), None);
+        assert!(evidence.findings.is_empty());
+        assert!(evidence.witness.is_none());
+        let text =
+            render_findings_with_evidence(&p.analysis, &evidence.findings, Some(&evidence));
+        assert!(!text.contains("Failing schedule"), "{text}");
+        assert!(!text.contains("arc heat"), "{text}");
     }
 
     #[test]

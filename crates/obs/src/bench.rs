@@ -95,6 +95,29 @@ impl BenchReporter {
         PathBuf::from(dir).join(format!("BENCH_{prefix}.json"))
     }
 
+    /// Write a schedule timeline next to the run report as a Chrome Trace
+    /// Event Format file (`BENCH_<prefix>.chrome_trace.json`), gated by
+    /// the same knobs as everything else: a no-op returning `None` when
+    /// the level is `off`. Returns the path written.
+    pub fn write_chrome_trace(&self, timeline: &crate::timeline::Timeline) -> Option<PathBuf> {
+        if self.level < ObsLevel::Summary {
+            return None;
+        }
+        let path = self.report_path().with_extension("chrome_trace.json");
+        match std::fs::write(&path, timeline.to_chrome_string()) {
+            Ok(()) => {
+                if !self.quiet {
+                    println!("obs: chrome trace written to {}", path.display());
+                }
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("obs: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
     /// Build the report, write the JSON file (and the JSONL trace at
     /// `trace` level), print the summary unless quiet, and return the
     /// report.

@@ -1,0 +1,426 @@
+//! The cross-run regression ledger (`jcc-ledger/v1`).
+//!
+//! Every bench binary writes a `BENCH_<bin>.json` [`RunReport`]; until now
+//! nothing consumed those files *across* runs. A [`Ledger`] diffs a
+//! sequence of reports pairwise — raw counters, derived rates, and
+//! arc-coverage percentages — flags regressions against the same floors
+//! the CI perf guard enforces, and serializes to a stable `jcc-ledger/v1`
+//! JSON document plus a human table. Diffing a report against itself
+//! always yields zero regressions (the CI self-diff smoke).
+//!
+//! Regression rules:
+//! * a derived key ending in `_per_sec` regresses when the current value
+//!   falls below [`THROUGHPUT_FLOOR`] × base (the perf-guard floor);
+//! * a derived key ending in `_pct` whose name contains `coverage`
+//!   regresses when it drops more than [`COVERAGE_EPSILON`] percentage
+//!   points, or disappears entirely.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::report::RunReport;
+
+/// The schema identifier written into every ledger document.
+pub const SCHEMA: &str = "jcc-ledger/v1";
+
+/// Throughput keys may lose at most 20% before flagging (matches the CI
+/// perf guard).
+pub const THROUGHPUT_FLOOR: f64 = 0.8;
+
+/// Coverage keys may lose at most this many percentage points.
+pub const COVERAGE_EPSILON: f64 = 0.5;
+
+/// One counter whose value differs between two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Value in the base run (0 when absent there).
+    pub base: u64,
+    /// Value in the current run (0 when absent there).
+    pub current: u64,
+}
+
+impl CounterDelta {
+    /// Signed change, current − base.
+    pub fn delta(&self) -> i64 {
+        self.current as i64 - self.base as i64
+    }
+}
+
+/// One derived value compared between two runs. A side is `None` when the
+/// key is absent in that run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedDelta {
+    /// Derived key (e.g. `states_per_sec`, `arc_coverage_pct`).
+    pub name: String,
+    /// Base-run value.
+    pub base: Option<f64>,
+    /// Current-run value.
+    pub current: Option<f64>,
+}
+
+impl DerivedDelta {
+    /// Percentage change relative to base; `None` when either side is
+    /// missing or base is zero.
+    pub fn pct_change(&self) -> Option<f64> {
+        match (self.base, self.current) {
+            (Some(b), Some(c)) if b != 0.0 => Some((c - b) / b * 100.0),
+            _ => None,
+        }
+    }
+}
+
+/// The pairwise diff of two [`RunReport`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Producing binary of the base run.
+    pub base_bin: String,
+    /// Producing binary of the current run.
+    pub current_bin: String,
+    /// Base run wall-clock, seconds.
+    pub base_wall_seconds: f64,
+    /// Current run wall-clock, seconds.
+    pub current_wall_seconds: f64,
+    /// Counters whose values differ, name-sorted (absent = 0).
+    pub counters_changed: Vec<CounterDelta>,
+    /// How many counters (union of both runs) were identical.
+    pub counters_unchanged: u64,
+    /// Every derived key from either run, name-sorted.
+    pub derived: Vec<DerivedDelta>,
+    /// Human descriptions of each regression the rules flagged.
+    pub regressions: Vec<String>,
+}
+
+fn is_throughput_key(name: &str) -> bool {
+    name.ends_with("_per_sec")
+}
+
+fn is_coverage_key(name: &str) -> bool {
+    name.ends_with("_pct") && name.contains("coverage")
+}
+
+/// Diff `current` against `base` and flag regressions.
+pub fn diff_reports(base: &RunReport, current: &RunReport) -> LedgerEntry {
+    let counter_names: BTreeSet<&String> =
+        base.counters.keys().chain(current.counters.keys()).collect();
+    let mut counters_changed = Vec::new();
+    let mut counters_unchanged = 0u64;
+    for name in counter_names {
+        let b = base.counter(name);
+        let c = current.counter(name);
+        if b == c {
+            counters_unchanged += 1;
+        } else {
+            counters_changed.push(CounterDelta {
+                name: name.clone(),
+                base: b,
+                current: c,
+            });
+        }
+    }
+
+    let derived_names: BTreeSet<&String> =
+        base.derived.keys().chain(current.derived.keys()).collect();
+    let mut derived = Vec::new();
+    let mut regressions = Vec::new();
+    for name in derived_names {
+        let d = DerivedDelta {
+            name: name.clone(),
+            base: base.derived.get(name).copied(),
+            current: current.derived.get(name).copied(),
+        };
+        match (d.base, d.current) {
+            (Some(b), Some(c)) if is_throughput_key(name) && b > 0.0 && c < b * THROUGHPUT_FLOOR => {
+                regressions.push(format!(
+                    "{name} fell {b:.1} -> {c:.1} (below {:.0}% floor)",
+                    THROUGHPUT_FLOOR * 100.0
+                ));
+            }
+            (Some(b), Some(c)) if is_coverage_key(name) && c < b - COVERAGE_EPSILON => {
+                regressions.push(format!(
+                    "{name} dropped {b:.1} -> {c:.1} (more than {COVERAGE_EPSILON} points)"
+                ));
+            }
+            (Some(b), None) if is_coverage_key(name) => {
+                regressions.push(format!("{name} disappeared (was {b:.1})"));
+            }
+            _ => {}
+        }
+        derived.push(d);
+    }
+
+    LedgerEntry {
+        base_bin: base.bin.clone(),
+        current_bin: current.bin.clone(),
+        base_wall_seconds: base.wall_seconds,
+        current_wall_seconds: current.wall_seconds,
+        counters_changed,
+        counters_unchanged,
+        derived,
+        regressions,
+    }
+}
+
+/// A sequence of pairwise run diffs. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    /// One entry per consecutive report pair, in input order.
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl Ledger {
+    /// Diff each consecutive pair of `reports` (n reports → n−1 entries).
+    pub fn from_reports(reports: &[RunReport]) -> Ledger {
+        Ledger {
+            entries: reports
+                .windows(2)
+                .map(|w| diff_reports(&w[0], &w[1]))
+                .collect(),
+        }
+    }
+
+    /// Total regressions flagged across all entries.
+    pub fn regression_count(&self) -> usize {
+        self.entries.iter().map(|e| e.regressions.len()).sum()
+    }
+
+    /// Serialize to the `jcc-ledger/v1` JSON value.
+    pub fn to_json(&self) -> Json {
+        let opt_num = |v: Option<f64>| match v {
+            Some(n) => Json::Num(n),
+            None => Json::Null,
+        };
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("base_bin".to_string(), Json::Str(e.base_bin.clone())),
+                    ("current_bin".to_string(), Json::Str(e.current_bin.clone())),
+                    (
+                        "base_wall_seconds".to_string(),
+                        Json::Num(e.base_wall_seconds),
+                    ),
+                    (
+                        "current_wall_seconds".to_string(),
+                        Json::Num(e.current_wall_seconds),
+                    ),
+                    (
+                        "counters_changed".to_string(),
+                        Json::Arr(
+                            e.counters_changed
+                                .iter()
+                                .map(|c| {
+                                    Json::obj([
+                                        ("name".to_string(), Json::Str(c.name.clone())),
+                                        ("base".to_string(), Json::Num(c.base as f64)),
+                                        ("current".to_string(), Json::Num(c.current as f64)),
+                                        ("delta".to_string(), Json::Num(c.delta() as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "counters_unchanged".to_string(),
+                        Json::Num(e.counters_unchanged as f64),
+                    ),
+                    (
+                        "derived".to_string(),
+                        Json::Arr(
+                            e.derived
+                                .iter()
+                                .map(|d| {
+                                    Json::obj([
+                                        ("name".to_string(), Json::Str(d.name.clone())),
+                                        ("base".to_string(), opt_num(d.base)),
+                                        ("current".to_string(), opt_num(d.current)),
+                                        ("pct_change".to_string(), opt_num(d.pct_change())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "regressions".to_string(),
+                        Json::Arr(
+                            e.regressions
+                                .iter()
+                                .map(|r| Json::Str(r.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            (
+                "comparisons".to_string(),
+                Json::Num(self.entries.len() as f64),
+            ),
+            (
+                "regression_count".to_string(),
+                Json::Num(self.regression_count() as f64),
+            ),
+            ("entries".to_string(), Json::Arr(entries)),
+        ])
+    }
+
+    /// Serialize to pretty JSON text (one trailing newline) — the
+    /// `jcc-ledger.json` file format.
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// The human table `jcc-report` prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jcc-report — cross-run ledger ({} comparison{}, {} regression{})",
+            self.entries.len(),
+            if self.entries.len() == 1 { "" } else { "s" },
+            self.regression_count(),
+            if self.regression_count() == 1 { "" } else { "s" },
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "-- [{i}] {} ({:.3}s) -> {} ({:.3}s) --",
+                e.base_bin, e.base_wall_seconds, e.current_bin, e.current_wall_seconds
+            );
+            let _ = writeln!(
+                out,
+                "  counters: {} unchanged, {} changed",
+                e.counters_unchanged,
+                e.counters_changed.len()
+            );
+            for c in &e.counters_changed {
+                let _ = writeln!(
+                    out,
+                    "    {:<40} {:>12} -> {:<12} ({:+})",
+                    c.name,
+                    c.base,
+                    c.current,
+                    c.delta()
+                );
+            }
+            if !e.derived.is_empty() {
+                let _ = writeln!(out, "  derived:");
+                for d in &e.derived {
+                    let fmt_side = |v: Option<f64>| match v {
+                        Some(n) => format!("{n:.1}"),
+                        None => "absent".to_string(),
+                    };
+                    let pct = match d.pct_change() {
+                        Some(p) => format!(" ({p:+.1}%)"),
+                        None => String::new(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    {:<40} {:>12} -> {:<12}{pct}",
+                        d.name,
+                        fmt_side(d.base),
+                        fmt_side(d.current)
+                    );
+                }
+            }
+            match e.regressions.len() {
+                0 => {
+                    let _ = writeln!(out, "  regressions: none");
+                }
+                _ => {
+                    let _ = writeln!(out, "  regressions:");
+                    for r in &e.regressions {
+                        let _ = writeln!(out, "    REGRESSION: {r}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::ObsLevel;
+    use crate::metrics::Registry;
+
+    fn report(states: u64, rate: f64, coverage: Option<f64>) -> RunReport {
+        let reg = Registry::new();
+        reg.counter("vm.explore.states").add(states);
+        reg.counter("transition.T1").add(17);
+        let mut r = RunReport::from_registry("e8_statespace", ObsLevel::Summary, 1.0, &reg);
+        r.set_derived("states_per_sec", rate);
+        if let Some(c) = coverage {
+            r.set_derived("arc_coverage_pct", c);
+        }
+        r
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions() {
+        let r = report(1000, 450_000.0, Some(60.0));
+        let ledger = Ledger::from_reports(&[r.clone(), r]);
+        assert_eq!(ledger.entries.len(), 1);
+        assert_eq!(ledger.regression_count(), 0);
+        assert!(ledger.entries[0].counters_changed.is_empty());
+        assert_eq!(ledger.entries[0].counters_unchanged, 2);
+    }
+
+    #[test]
+    fn counter_deltas_are_reported() {
+        let a = report(1000, 450_000.0, None);
+        let b = report(1016, 450_000.0, None);
+        let e = diff_reports(&a, &b);
+        assert_eq!(e.counters_changed.len(), 1);
+        assert_eq!(e.counters_changed[0].name, "vm.explore.states");
+        assert_eq!(e.counters_changed[0].delta(), 16);
+        assert_eq!(e.counters_unchanged, 1);
+    }
+
+    #[test]
+    fn throughput_floor_flags_regression() {
+        let a = report(1000, 450_000.0, None);
+        let ok = report(1000, 380_000.0, None);
+        assert_eq!(diff_reports(&a, &ok).regressions.len(), 0, "within floor");
+        let bad = report(1000, 300_000.0, None);
+        let e = diff_reports(&a, &bad);
+        assert_eq!(e.regressions.len(), 1, "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("states_per_sec"));
+    }
+
+    #[test]
+    fn coverage_drop_and_disappearance_flag_regressions() {
+        let a = report(1000, 450_000.0, Some(60.0));
+        let small_drift = report(1000, 450_000.0, Some(59.8));
+        assert_eq!(diff_reports(&a, &small_drift).regressions.len(), 0);
+        let dropped = report(1000, 450_000.0, Some(50.0));
+        assert_eq!(diff_reports(&a, &dropped).regressions.len(), 1);
+        let gone = report(1000, 450_000.0, None);
+        let e = diff_reports(&a, &gone);
+        assert_eq!(e.regressions.len(), 1, "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("disappeared"));
+    }
+
+    #[test]
+    fn ledger_json_is_deterministic_and_tagged() {
+        let a = report(1000, 450_000.0, Some(60.0));
+        let b = report(1016, 440_000.0, Some(60.0));
+        let l1 = Ledger::from_reports(&[a.clone(), b.clone()]);
+        let l2 = Ledger::from_reports(&[a, b]);
+        assert_eq!(l1.to_json_string(), l2.to_json_string());
+        let parsed = Json::parse(&l1.to_json_string()).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(parsed.get("comparisons").unwrap().as_u64(), Some(1));
+        let table = l1.render_table();
+        assert!(table.contains("vm.explore.states"), "{table}");
+        assert!(table.contains("regressions: none"), "{table}");
+    }
+}

@@ -15,8 +15,16 @@
 //! * [`json`] — a minimal JSON value type with writer and parser (the crate
 //!   registry is unreachable, so no serde),
 //! * [`report`] — the stable [`RunReport`] schema (`jcc-obs/v1`): a
-//!   snapshot of every metric plus per-phase wall-clock and derived rates,
-//!   renderable as a human summary or a JSON file,
+//!   snapshot of every metric plus per-phase wall-clock (with p50/p90/p99
+//!   estimates) and derived rates, renderable as a human summary or a JSON
+//!   file,
+//! * [`timeline`] — causal schedule timelines: one lane per thread, typed
+//!   intervals stamped with Table-1 transitions and CoFG arcs, cross-lane
+//!   causality edges (notify→wake, release→acquire), an ASCII renderer and
+//!   a Chrome Trace Event Format (Perfetto-loadable) exporter,
+//! * [`ledger`] — the cross-run regression ledger (`jcc-ledger/v1`):
+//!   pairwise diffs of [`RunReport`]s with throughput and arc-coverage
+//!   regression flags,
 //! * [`bench`] — [`BenchReporter`], the front door for the `jcc-bench`
 //!   binaries: parses the shared `--quiet` / `JCC_OBS=off|summary|trace`
 //!   knob, times the run, and writes `BENCH_<bin>.json`.
@@ -49,16 +57,20 @@
 
 pub mod bench;
 pub mod json;
+pub mod ledger;
 pub mod level;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use bench::{parse_knobs, BenchReporter};
+pub use ledger::Ledger;
 pub use level::{enabled, level, set_level, trace_enabled, ObsLevel};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use report::{PhaseReport, RunReport};
+pub use timeline::{Timeline, TimelineBuilder};
 pub use span::{span_enter, SpanGuard};
 pub use trace::{drain_trace, trace_event, TraceRecord};
 

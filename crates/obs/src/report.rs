@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use crate::json::{Json, ParseError};
 use crate::level::ObsLevel;
-use crate::metrics::{Histogram, HistogramSnapshot, Registry};
+use crate::metrics::{HistogramSnapshot, Registry};
 
 /// The schema identifier written into every report.
 pub const SCHEMA: &str = "jcc-obs/v1";
@@ -29,8 +29,16 @@ pub struct PhaseReport {
     pub min_nanos: u64,
     /// Longest single occurrence, nanoseconds.
     pub max_nanos: u64,
+    /// Estimated median occurrence, nanoseconds
+    /// (see [`HistogramSnapshot::percentile`]).
+    pub p50_nanos: u64,
+    /// Estimated 90th-percentile occurrence, nanoseconds.
+    pub p90_nanos: u64,
+    /// Estimated 99th-percentile occurrence, nanoseconds.
+    pub p99_nanos: u64,
     /// Non-empty log2 latency buckets as `(bucket, count)`;
-    /// [`Histogram::bucket_floor`] gives a bucket's lower bound in ns.
+    /// [`crate::metrics::Histogram::bucket_floor`] gives a bucket's lower
+    /// bound in ns.
     pub buckets: Vec<(u32, u64)>,
 }
 
@@ -42,7 +50,22 @@ impl PhaseReport {
             total_seconds: snap.sum as f64 / 1e9,
             min_nanos: snap.min,
             max_nanos: snap.max,
+            p50_nanos: snap.percentile(50.0),
+            p90_nanos: snap.percentile(90.0),
+            p99_nanos: snap.percentile(99.0),
             buckets: snap.buckets.clone(),
+        }
+    }
+
+    /// Reconstruct the bucket view this report was built from (sum is
+    /// lossy: only `total_seconds` survives serialization).
+    fn as_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: (self.total_seconds * 1e9) as u64,
+            min: self.min_nanos,
+            max: self.max_nanos,
+            buckets: self.buckets.clone(),
         }
     }
 }
@@ -135,6 +158,9 @@ impl RunReport {
                             ),
                             ("min_nanos".to_string(), Json::Num(p.min_nanos as f64)),
                             ("max_nanos".to_string(), Json::Num(p.max_nanos as f64)),
+                            ("p50_nanos".to_string(), Json::Num(p.p50_nanos as f64)),
+                            ("p90_nanos".to_string(), Json::Num(p.p90_nanos as f64)),
+                            ("p99_nanos".to_string(), Json::Num(p.p99_nanos as f64)),
                             (
                                 "buckets".to_string(),
                                 Json::Arr(
@@ -214,12 +240,15 @@ impl RunReport {
                 .as_arr()?
                 .iter()
                 .map(|p| {
-                    Some(PhaseReport {
+                    let mut report = PhaseReport {
                         name: p.get("name")?.as_str()?.to_string(),
                         count: p.get("count")?.as_u64()?,
                         total_seconds: p.get("total_seconds")?.as_f64()?,
                         min_nanos: p.get("min_nanos")?.as_u64()?,
                         max_nanos: p.get("max_nanos")?.as_u64()?,
+                        p50_nanos: 0,
+                        p90_nanos: 0,
+                        p99_nanos: 0,
                         buckets: p
                             .get("buckets")?
                             .as_arr()?
@@ -229,7 +258,19 @@ impl RunReport {
                                 Some((pair.first()?.as_u64()? as u32, pair.get(1)?.as_u64()?))
                             })
                             .collect::<Option<Vec<_>>>()?,
-                    })
+                    };
+                    // Percentile fields are recomputable from the buckets,
+                    // so reports written before they existed stay parseable.
+                    let fallback = |key: &str, p_val: f64, snap: &HistogramSnapshot| {
+                        p.get(key)
+                            .and_then(Json::as_u64)
+                            .unwrap_or_else(|| snap.percentile(p_val))
+                    };
+                    let snap = report.as_snapshot();
+                    report.p50_nanos = fallback("p50_nanos", 50.0, &snap);
+                    report.p90_nanos = fallback("p90_nanos", 90.0, &snap);
+                    report.p99_nanos = fallback("p99_nanos", 99.0, &snap);
+                    Some(report)
                 })
                 .collect()
         };
@@ -286,11 +327,24 @@ impl RunReport {
             for p in &self.phases {
                 let _ = writeln!(
                     out,
-                    "  {:<40} {:>4}x {:>10.3}s (max {:.3}ms)",
+                    "  {:<40} {:>4}x {:>10.3}s (p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms max {:.3}ms)",
                     p.name,
                     p.count,
                     p.total_seconds,
+                    p.p50_nanos as f64 / 1e6,
+                    p.p90_nanos as f64 / 1e6,
+                    p.p99_nanos as f64 / 1e6,
                     p.max_nanos as f64 / 1e6
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>4}x (p50 {} p90 {} p99 {} max {})",
+                    h.name, h.count, h.p50_nanos, h.p90_nanos, h.p99_nanos, h.max_nanos
                 );
             }
         }
@@ -303,17 +357,9 @@ impl RunReport {
     }
 
     /// Approximate p-th percentile (0–100) of a phase's latency from its
-    /// log2 buckets: the lower bound of the bucket holding that rank.
+    /// log2 buckets (see [`HistogramSnapshot::percentile`]).
     pub fn phase_percentile_nanos(phase: &PhaseReport, p: f64) -> u64 {
-        let rank = (phase.count as f64 * p / 100.0).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for &(bucket, n) in &phase.buckets {
-            seen += n;
-            if seen >= rank {
-                return Histogram::bucket_floor(bucket);
-            }
-        }
-        phase.max_nanos
+        phase.as_snapshot().percentile(p)
     }
 }
 
@@ -389,5 +435,37 @@ mod tests {
         let p100 = RunReport::phase_percentile_nanos(p, 100.0);
         assert!(p50 <= p100);
         assert!(p100 <= p.max_nanos.max(1));
+    }
+
+    #[test]
+    fn percentile_fields_surface_in_json_and_summary() {
+        let r = sample_report();
+        let p = &r.phases[0];
+        assert!(p.p50_nanos >= p.min_nanos && p.p50_nanos <= p.max_nanos);
+        assert!(p.p50_nanos <= p.p90_nanos && p.p90_nanos <= p.p99_nanos);
+        let text = r.to_json_string();
+        assert!(text.contains("\"p50_nanos\""), "{text}");
+        assert!(text.contains("\"p99_nanos\""), "{text}");
+        let summary = r.render_summary();
+        assert!(summary.contains("p50"), "{summary}");
+        assert!(summary.contains("p99"), "{summary}");
+        assert!(summary.contains("histograms:"), "{summary}");
+    }
+
+    #[test]
+    fn reports_without_percentile_fields_still_parse() {
+        // Simulate a pre-percentile report by stripping the new fields
+        // (they sit mid-object in the sorted key order, so dropping whole
+        // lines keeps the JSON valid).
+        let text: String = sample_report()
+            .to_json_string()
+            .lines()
+            .filter(|l| !l.contains("p50_nanos") && !l.contains("p90_nanos") && !l.contains("p99_nanos"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = RunReport::from_json_str(&text).expect("old-format report parses");
+        let p = &back.phases[0];
+        assert!(p.p50_nanos > 0, "recomputed from buckets");
+        assert!(p.p50_nanos <= p.p99_nanos);
     }
 }

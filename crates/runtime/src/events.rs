@@ -220,6 +220,42 @@ impl EventLog {
         }
         seen
     }
+
+    /// Build a causal schedule timeline from the log: one lane per logged
+    /// thread (first-log order), the event sequence number as the clock,
+    /// intervals and causality edges derived from the Figure-1 transitions
+    /// (see [`jcc_obs::timeline`]). Purely a read of the recorded events —
+    /// building a timeline never alters the log.
+    pub fn timeline(&self) -> jcc_obs::timeline::Timeline {
+        use jcc_obs::timeline::TimelineBuilder;
+        let events = self.snapshot();
+        let mut b = TimelineBuilder::new("events");
+        let mut lanes: HashMap<u64, usize> = HashMap::new();
+        for e in &events {
+            lanes
+                .entry(e.thread)
+                .or_insert_with(|| b.lane(&format!("thread-{}", e.thread)));
+        }
+        for e in &events {
+            let lane = lanes[&e.thread];
+            let at = e.seq;
+            let monitor = self.monitor_name(e.monitor);
+            match &e.kind {
+                EventKind::Transition(Transition::T1) => b.requests(lane, at, &monitor),
+                EventKind::Transition(Transition::T2) => b.acquires(lane, at, &monitor),
+                EventKind::Transition(Transition::T3) => b.waits(lane, at, &monitor),
+                EventKind::Transition(Transition::T4) => b.releases(lane, at, &monitor),
+                EventKind::Transition(Transition::T5) => b.woken(lane, at, &monitor),
+                EventKind::NotifyIssued { all, waiters } => {
+                    b.notify(lane, at, &monitor, *all, *waiters);
+                }
+                EventKind::MethodStart { .. } => b.begins(lane, at),
+                EventKind::MethodEnd { .. } => b.idles(lane, at),
+                EventKind::Read { .. } | EventKind::Write { .. } | EventKind::Marker { .. } => {}
+            }
+        }
+        b.finish(events.len() as u64)
+    }
 }
 
 /// Fold one runtime event into the global obs registry (and, at `trace`
@@ -347,6 +383,34 @@ mod tests {
         assert_eq!(events[1].thread, 2);
         assert_eq!(events[2].thread, 1);
         assert_eq!(log.allocated_threads(), 2);
+    }
+
+    #[test]
+    fn timeline_from_log_reconstructs_wait_and_wake() {
+        use jcc_obs::timeline::{EdgeKind, IntervalKind};
+        let log = EventLog::new();
+        let m = log.register_monitor("buffer");
+        // Thread 1 waits; thread 2 notifies and hands the lock over.
+        log.log_as(1, m, EventKind::MethodStart { method: "receive".into() });
+        log.log_as(1, m, EventKind::Transition(T::T1));
+        log.log_as(1, m, EventKind::Transition(T::T2));
+        log.log_as(1, m, EventKind::Transition(T::T3));
+        log.log_as(2, m, EventKind::MethodStart { method: "send".into() });
+        log.log_as(2, m, EventKind::Transition(T::T1));
+        log.log_as(2, m, EventKind::Transition(T::T2));
+        log.log_as(2, m, EventKind::NotifyIssued { all: true, waiters: 1 });
+        log.log_as(1, m, EventKind::Transition(T::T5));
+        log.log_as(2, m, EventKind::Transition(T::T4));
+        log.log_as(1, m, EventKind::Transition(T::T2));
+        log.log_as(1, m, EventKind::Transition(T::T4));
+        let t = log.timeline();
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.clock, "events");
+        let kinds: Vec<IntervalKind> = t.lanes[0].intervals.iter().map(|iv| iv.kind).collect();
+        assert!(kinds.contains(&IntervalKind::Waiting), "{t:?}");
+        assert!(t.edges.iter().any(|e| e.kind == EdgeKind::NotifyWake));
+        assert!(t.edges.iter().any(|e| e.kind == EdgeKind::ReleaseAcquire));
+        assert!(t.render_ascii().contains("buffer"));
     }
 
     #[test]

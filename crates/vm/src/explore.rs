@@ -89,6 +89,17 @@ impl ExploreResult {
         self.deadlock_paths > 0 || self.fault_paths > 0 || self.cycle_paths > 0
     }
 
+    /// The preferred failure witness of an exhaustive exploration, in the
+    /// stable severity order deadlock → fault → cycle. Deterministic for a
+    /// given component and config (the DFS order fixes each witness), so
+    /// its rendered timeline is too. `None` when no schedule fails.
+    pub fn first_witness(&self) -> Option<&RunOutcome> {
+        self.deadlock_witness
+            .as_ref()
+            .or(self.fault_witness.as_ref())
+            .or(self.cycle_witness.as_ref())
+    }
+
     /// The numeric outcome of the exploration, witnesses excluded — what
     /// the determinism suite compares across thread counts and runs.
     #[allow(clippy::type_complexity)]
@@ -371,11 +382,7 @@ impl PortfolioResult {
 /// Extract a deterministic failure witness from an exhaustive result
 /// (preference order: deadlock, fault, cycle — fixed so reruns agree).
 fn exhaustive_witness(result: &ExploreResult) -> Option<&RunOutcome> {
-    result
-        .deadlock_witness
-        .as_ref()
-        .or(result.fault_witness.as_ref())
-        .or(result.cycle_witness.as_ref())
+    result.first_witness()
 }
 
 /// Parallel portfolio exploration: one worker runs the exhaustive bounded

@@ -30,6 +30,7 @@
 pub mod compile;
 pub mod explore;
 pub mod machine;
+pub mod timeline;
 pub mod trace;
 pub mod value;
 
@@ -42,5 +43,6 @@ pub use jcc_petri::Parallelism;
 pub use machine::{
     CallResult, CallSpec, RunConfig, RunOutcome, Scheduler, ThreadSpec, Verdict, Vm,
 };
+pub use timeline::timeline_of_outcome;
 pub use trace::{TraceEvent, TraceEventKind};
 pub use value::Value;

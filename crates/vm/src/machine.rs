@@ -165,6 +165,11 @@ pub struct RunOutcome {
     pub trace: Vec<TraceEvent>,
     /// Per thread, per call: results.
     pub results: Vec<Vec<CallResult>>,
+    /// Thread display names, indexed by the trace's thread indices.
+    pub thread_names: Vec<String>,
+    /// Lock display names, indexed by the trace's lock indices
+    /// (index 0 is `this`).
+    pub lock_names: Vec<String>,
 }
 
 impl RunOutcome {
@@ -842,6 +847,8 @@ impl Vm {
             steps: self.steps,
             trace: self.trace.clone(),
             results: self.results.clone(),
+            thread_names: self.specs.iter().map(|s| s.name.clone()).collect(),
+            lock_names: self.component.locks.clone(),
         }
     }
 }

@@ -1,0 +1,231 @@
+//! Building causal schedule timelines from VM run traces.
+//!
+//! [`timeline_of_outcome`] replays a [`RunOutcome`]'s step-stamped event
+//! trace through an [`jcc_obs::timeline::TimelineBuilder`]: one lane per
+//! logical thread, intervals keyed by the Figure-1 transitions each event
+//! fires (T1 → requesting-lock, T2 → critical-section, T3 → waiting,
+//! T5 → re-acquiring), causality edges for notify→wake and
+//! release→acquire, and — when the component's CoFGs are supplied — each
+//! interval stamped with the CoFG arc the thread traversed during it.
+//!
+//! The timeline is a pure post-hoc function of the recorded trace (the
+//! clock is the VM's logical step counter, never wall time), so it
+//! inherits the determinism of the trace: the exhaustive explorer's
+//! witness for a component is byte-identical at any parallelism, and so is
+//! its rendered timeline. Building a timeline can never change an
+//! exploration result — it only reads what the run already recorded.
+
+use jcc_cofg::{Cofg, NodeId};
+use jcc_model::ast::StmtPath;
+use jcc_obs::timeline::{Timeline, TimelineBuilder};
+use jcc_petri::Transition;
+
+use crate::machine::RunOutcome;
+use crate::trace::TraceEventKind;
+
+/// Label the CoFG arc `from -> to` of `cofg`, or `None` when no such arc
+/// exists (the traversal would be a coverage stray).
+fn arc_label(cofg: &Cofg, from: NodeId, to: NodeId) -> Option<String> {
+    cofg.arc_between(from, to)?;
+    Some(format!(
+        "{}: {} -> {}",
+        cofg.method,
+        cofg.label(from),
+        cofg.label(to)
+    ))
+}
+
+/// Build the causal timeline of one explored schedule. Pass the
+/// component's CoFGs to stamp intervals and notify edges with the arcs
+/// they traverse; pass `None` to skip arc attribution.
+pub fn timeline_of_outcome(outcome: &RunOutcome, cofgs: Option<&[Cofg]>) -> Timeline {
+    let mut b = TimelineBuilder::new("steps");
+    for name in &outcome.thread_names {
+        b.lane(name);
+    }
+    let lock_name = |lock: usize| -> &str {
+        outcome
+            .lock_names
+            .get(lock)
+            .map(String::as_str)
+            .unwrap_or("?")
+    };
+    let cofg_of = |method: &str| -> Option<&Cofg> {
+        cofgs?.iter().find(|g| g.method == method)
+    };
+    // Per-thread arc walk, mirroring CoverageTracker: the last CoFG node
+    // of the active invocation.
+    let mut walk: Vec<Option<(String, NodeId)>> = vec![None; outcome.thread_names.len()];
+
+    for e in &outcome.trace {
+        let at = e.step as u64;
+        let i = e.thread;
+        match &e.kind {
+            TraceEventKind::MethodStart { method } => {
+                b.begins(i, at);
+                if let Some(g) = cofg_of(method) {
+                    walk[i] = Some((method.clone(), g.start()));
+                }
+            }
+            TraceEventKind::MethodEnd { method } => {
+                if let Some((m, prev)) = walk[i].take() {
+                    if &m == method {
+                        if let Some(label) =
+                            cofg_of(method).and_then(|g| arc_label(g, prev, g.end()))
+                        {
+                            b.stamp_arc(i, &label);
+                        }
+                    }
+                }
+                b.idles(i, at);
+            }
+            TraceEventKind::Site { method, path, exit } => {
+                if let Some(g) = cofg_of(method) {
+                    let path = StmtPath(path.clone());
+                    let node = if *exit {
+                        g.sync_exit_by_path(&path)
+                    } else {
+                        g.node_by_path(&path)
+                    };
+                    if let Some(node) = node {
+                        if let Some((m, prev)) = walk[i].clone() {
+                            if &m == method {
+                                if let Some(label) = arc_label(g, prev, node) {
+                                    b.stamp_arc(i, &label);
+                                }
+                            }
+                        }
+                        walk[i] = Some((method.clone(), node));
+                    }
+                }
+            }
+            TraceEventKind::Transition { t, lock } => {
+                let l = lock_name(*lock);
+                match t {
+                    Transition::T1 => b.requests(i, at, l),
+                    Transition::T2 => b.acquires(i, at, l),
+                    Transition::T3 => b.waits(i, at, l),
+                    Transition::T4 => b.releases(i, at, l),
+                    Transition::T5 => b.woken(i, at, l),
+                }
+            }
+            TraceEventKind::NotifyIssued { lock, all, waiters } => {
+                b.notify(i, at, lock_name(*lock), *all, *waiters);
+            }
+            TraceEventKind::FieldRead { .. } | TraceEventKind::FieldWrite { .. } => {}
+            TraceEventKind::Fault { message } => b.faults(i, at, message),
+        }
+    }
+    b.finish(outcome.steps as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::machine::{CallSpec, RunConfig, ThreadSpec, Vm};
+    use crate::value::Value;
+    use jcc_cofg::build_component_cofgs;
+    use jcc_model::examples;
+    use jcc_obs::timeline::{EdgeKind, IntervalKind};
+
+    fn pc_outcome() -> (RunOutcome, Vec<Cofg>) {
+        let c = examples::producer_consumer();
+        let cofgs = build_component_cofgs(&c);
+        let mut vm = Vm::new(
+            compile(&c).unwrap(),
+            vec![
+                ThreadSpec {
+                    name: "consumer".into(),
+                    calls: vec![CallSpec::new("receive", vec![])],
+                },
+                ThreadSpec {
+                    name: "producer".into(),
+                    calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+                },
+            ],
+        );
+        (vm.run(&RunConfig::default()), cofgs)
+    }
+
+    #[test]
+    fn round_robin_pc_schedule_has_wait_wake_and_handoff() {
+        let (out, cofgs) = pc_outcome();
+        let t = timeline_of_outcome(&out, Some(&cofgs));
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.lanes[0].name, "consumer");
+        // Round-robin: the consumer waits first, the producer's notifyAll
+        // wakes it — a T5 edge must exist.
+        let wake = t
+            .edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::NotifyWake)
+            .expect("wake edge");
+        assert_eq!(wake.to_lane, 0, "consumer is woken");
+        assert_eq!(wake.transition, 5);
+        let consumer_kinds: Vec<IntervalKind> =
+            t.lanes[0].intervals.iter().map(|iv| iv.kind).collect();
+        assert!(consumer_kinds.contains(&IntervalKind::Waiting), "{t:?}");
+        assert!(consumer_kinds.contains(&IntervalKind::InCriticalSection));
+        // Lanes are gap-free to the horizon.
+        for lane in &t.lanes {
+            assert_eq!(lane.intervals.last().unwrap().end, t.horizon);
+        }
+    }
+
+    #[test]
+    fn intervals_carry_cofg_arcs_when_supplied() {
+        let (out, cofgs) = pc_outcome();
+        let with = timeline_of_outcome(&out, Some(&cofgs));
+        let stamped = with
+            .lanes
+            .iter()
+            .flat_map(|l| &l.intervals)
+            .filter(|iv| iv.arc.is_some())
+            .count();
+        assert!(stamped > 0, "{with:?}");
+        let arc_text: Vec<&str> = with
+            .lanes
+            .iter()
+            .flat_map(|l| &l.intervals)
+            .filter_map(|iv| iv.arc.as_deref())
+            .collect();
+        assert!(
+            arc_text.iter().any(|a| a.contains("receive:")),
+            "{arc_text:?}"
+        );
+        let without = timeline_of_outcome(&out, None);
+        assert!(without
+            .lanes
+            .iter()
+            .flat_map(|l| &l.intervals)
+            .all(|iv| iv.arc.is_none()));
+    }
+
+    #[test]
+    fn timeline_is_deterministic_for_a_fixed_outcome() {
+        let (out, cofgs) = pc_outcome();
+        let a = timeline_of_outcome(&out, Some(&cofgs));
+        let b = timeline_of_outcome(&out, Some(&cofgs));
+        assert_eq!(a.render_ascii(), b.render_ascii());
+        assert_eq!(a.to_chrome_string(), b.to_chrome_string());
+    }
+
+    #[test]
+    fn lost_notification_is_annotated() {
+        // Producer runs alone: its notifyAll finds an empty wait set.
+        let c = examples::producer_consumer();
+        let mut vm = Vm::new(
+            compile(&c).unwrap(),
+            vec![ThreadSpec {
+                name: "producer".into(),
+                calls: vec![CallSpec::new("send", vec![Value::Str("a".into())])],
+            }],
+        );
+        let out = vm.run(&RunConfig::default());
+        let t = timeline_of_outcome(&out, None);
+        assert_eq!(t.notes.len(), 1, "{t:?}");
+        assert!(t.notes[0].text.contains("no thread in place D"));
+        assert!(t.render_ascii().contains("lost notification"));
+    }
+}

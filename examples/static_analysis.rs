@@ -8,7 +8,7 @@ use jcc_core::analyze::{analyze, Severity};
 use jcc_core::model::examples;
 use jcc_core::model::mutate::{all_mutants, MutationKind};
 use jcc_core::pipeline::Pipeline;
-use jcc_core::report::render_findings;
+use jcc_core::report::render_findings_with_evidence;
 use jcc_core::vm::{CallSpec, ExploreConfig, ThreadSpec};
 
 fn main() {
@@ -48,9 +48,12 @@ fn main() {
             calls: vec![CallSpec::new("backward", vec![])],
         },
     ];
-    let findings = pipeline.explore_and_classify(&scenario, &ExploreConfig::default());
+    let evidence = pipeline.explore_evidence(&scenario, &ExploreConfig::default(), None);
     println!("\n== LockOrder: static prediction vs dynamic observation ==");
-    print!("{}", render_findings(&pipeline.analysis, &findings));
+    print!(
+        "{}",
+        render_findings_with_evidence(&pipeline.analysis, &evidence.findings, Some(&evidence))
+    );
 
     // The machine-readable form, for tooling.
     println!("\n== JSON (schema {}) ==", jcc_core::analyze::SCHEMA);

@@ -10,7 +10,10 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use jcc_core::model::examples;
 use jcc_core::obs;
 use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
-use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Value, Vm};
+use jcc_core::vm::{
+    compile, explore, explore_portfolio, timeline_of_outcome, CallSpec, ExploreConfig,
+    PortfolioConfig, ThreadSpec, Value, Vm,
+};
 
 /// Serializes tests in this binary: they flip the process-global obs level.
 fn obs_lock() -> MutexGuard<'static, ()> {
@@ -161,6 +164,60 @@ fn vm_transition_counters_populated_under_observation() {
             reg.counter(&format!("vm.transition.{t}")).get() > 0,
             "vm.transition.{t} never fired"
         );
+    }
+}
+
+#[test]
+fn timeline_renderings_identical_at_any_parallelism() {
+    // The causal timeline is a pure function of the witness trace, and the
+    // witness is deterministic without early_exit — so both the ASCII chart
+    // and the Chrome-trace JSON must be byte-identical whatever the worker
+    // count and whatever the observation level.
+    let _guard = obs_lock();
+    let c = examples::lock_order_deadlock();
+    let cofgs = jcc_core::cofg::build_component_cofgs(&c);
+    let make_vm = || {
+        Vm::new(
+            compile(&c).unwrap(),
+            vec![
+                ThreadSpec {
+                    name: "f".into(),
+                    calls: vec![CallSpec::new("forward", vec![])],
+                },
+                ThreadSpec {
+                    name: "b".into(),
+                    calls: vec![CallSpec::new("backward", vec![])],
+                },
+            ],
+        )
+    };
+    let renderings: Vec<(String, String)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            with_level(obs::ObsLevel::Summary, || {
+                let p = explore_portfolio(
+                    make_vm(),
+                    &PortfolioConfig {
+                        explore: ExploreConfig {
+                            parallelism: Parallelism::with_threads(threads),
+                            ..ExploreConfig::default()
+                        },
+                        ..PortfolioConfig::default()
+                    },
+                );
+                let census = p.result.expect("census completes without early_exit");
+                let witness = census.first_witness().expect("lock-order deadlocks");
+                let t = timeline_of_outcome(witness, Some(&cofgs));
+                (t.render_ascii(), t.to_chrome_string())
+            })
+        })
+        .collect();
+    let (ascii, chrome) = &renderings[0];
+    assert!(ascii.contains("causal timeline"), "{ascii}");
+    assert!(chrome.contains("\"traceEvents\":"), "{chrome}");
+    for (i, (a, c)) in renderings.iter().enumerate().skip(1) {
+        assert_eq!(a, ascii, "ascii differs at parallelism index {i}");
+        assert_eq!(c, chrome, "chrome trace differs at parallelism index {i}");
     }
 }
 

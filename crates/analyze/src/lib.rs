@@ -30,8 +30,8 @@
 //! permit (assigning the wait guard's field) without notifying — correct
 //! for a semaphore, statically indistinguishable from a dropped notify.
 //!
-//! This crate absorbs and supersedes `jcc_model::validate::lints`; the
-//! old entry point remains as a deprecated shim.
+//! This crate absorbed and superseded the early `jcc_model::validate`
+//! lint pass, which has since been removed.
 //!
 //! ```
 //! use jcc_model::examples;

@@ -27,14 +27,16 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use jcc_core::analyze::{analyze, Severity};
+use jcc_core::components::zoo::full_corpus;
 use jcc_core::model::examples;
 use jcc_core::model::mutate::all_mutants;
 use jcc_core::model::Component;
 use jcc_core::pipeline::Pipeline;
-use jcc_core::testgen::scenario::{Scenario, ScenarioSpace};
+use jcc_core::testgen::corpus::space_for;
+use jcc_core::testgen::scenario::Scenario;
 use jcc_core::testgen::signature::{enumerate_signatures, EnumLimits};
 use jcc_core::testgen::suite::GreedyConfig;
-use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Value, Vm};
+use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Vm};
 
 /// Per-class hit/miss tallies for precision and recall.
 #[derive(Default, Clone)]
@@ -100,9 +102,10 @@ fn main() {
         ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
     }
 
-    // -- Gate 1: the unmutated corpus earns zero High diagnostics, and the
-    // -- analyzer's output is byte-identical across runs.
-    for (name, component) in examples::corpus() {
+    // -- Gate 1: the unmutated corpus — seed monitors AND the component
+    // -- zoo — earns zero High diagnostics, and the analyzer's output is
+    // -- byte-identical across runs.
+    for (name, component) in full_corpus() {
         let a = analyze(&component);
         let b = analyze(&component);
         assert_eq!(a.render(), b.render(), "{name}: nondeterministic render");
@@ -120,46 +123,6 @@ fn main() {
     }
     say!("gate: zero High-severity diagnostics on the clean corpus; output deterministic\n");
 
-    let spaces: Vec<(&str, ScenarioSpace)> = vec![
-        (
-            "ProducerConsumer",
-            ScenarioSpace::new(vec![
-                CallSpec::new("receive", vec![]),
-                CallSpec::new("send", vec![Value::Str("a".into())]),
-                CallSpec::new("send", vec![Value::Str("ab".into())]),
-            ]),
-        ),
-        (
-            "BoundedBuffer",
-            ScenarioSpace::new(vec![
-                CallSpec::new("put", vec![Value::Int(1)]),
-                CallSpec::new("put", vec![Value::Int(2)]),
-                CallSpec::new("take", vec![]),
-            ]),
-        ),
-        (
-            "Semaphore",
-            ScenarioSpace::new(vec![
-                CallSpec::new("init", vec![Value::Int(1)]),
-                CallSpec::new("acquire", vec![]),
-                CallSpec::new("release", vec![]),
-            ]),
-        ),
-        (
-            "ReadersWriters",
-            ScenarioSpace::of_sessions(vec![
-                vec![CallSpec::new("startRead", vec![]), CallSpec::new("endRead", vec![])],
-                vec![CallSpec::new("startWrite", vec![]), CallSpec::new("endWrite", vec![])],
-            ]),
-        ),
-        (
-            "Barrier",
-            ScenarioSpace::new(vec![
-                CallSpec::new("init", vec![Value::Int(2)]),
-                CallSpec::new("await", vec![]),
-            ]),
-        ),
-    ];
     let limits = EnumLimits {
         max_states: 40_000,
         max_depth: 1_000,
@@ -170,12 +133,14 @@ fn main() {
     let mut mutants_total = 0usize;
     let mut mutants_confirmed = 0usize;
 
-    // -- The mutant corpus.
-    for (name, parent) in examples::corpus() {
-        let space = &spaces.iter().find(|(n, _)| *n == name).expect("space").1;
+    // -- The mutant corpus: every component of the full corpus (seed
+    // -- monitors + zoo), scenario spaces from the canonical registry.
+    for (name, parent) in full_corpus() {
+        let space = space_for(name)
+            .unwrap_or_else(|| panic!("{name} missing from the scenario registry"));
         let pipeline = Pipeline::new(parent.clone()).expect("corpus is valid");
         let scenarios: Vec<Scenario> =
-            pipeline.directed_suite(space, &GreedyConfig::default()).scenarios;
+            pipeline.directed_suite(&space, &GreedyConfig::default()).scenarios;
         let parent_baseline = dynamic_classes(&parent, &scenarios);
         let correct_sigs: Vec<_> = scenarios
             .iter()
@@ -321,6 +286,7 @@ fn main() {
     }
     say!("gate: recall >= 0.60 on FF-T2, FF-T5, EF-T3, EF-T5");
 
+    reporter.set_derived("components_total", full_corpus().len() as f64);
     reporter.set_derived("mutants_total", mutants_total as f64);
     reporter.set_derived("mutants_confirmed", mutants_confirmed as f64);
     reporter.set_derived("specimens", 4.0);

@@ -8,62 +8,23 @@
 
 use std::time::Instant;
 
-use jcc_core::model::examples;
+use jcc_core::components::zoo::full_corpus;
 use jcc_core::petri::Parallelism;
 use jcc_core::pipeline::{mutation_study, MutationStudyConfig};
 use jcc_core::report::render_study;
-use jcc_core::testgen::scenario::ScenarioSpace;
-use jcc_core::vm::{CallSpec, Value};
+use jcc_core::testgen::corpus::space_for;
 
 fn main() {
     let mut reporter = jcc_core::obs::BenchReporter::init("e5_mutation_study");
     macro_rules! say {
         ($($arg:tt)*) => { if !reporter.quiet() { println!($($arg)*); } };
     }
-    let studies: Vec<(&str, jcc_core::model::Component, ScenarioSpace)> = vec![
-        (
-            "ProducerConsumer",
-            examples::producer_consumer(),
-            ScenarioSpace::new(vec![
-                CallSpec::new("receive", vec![]),
-                CallSpec::new("send", vec![Value::Str("a".into())]),
-                CallSpec::new("send", vec![Value::Str("ab".into())]),
-            ]),
-        ),
-        (
-            "BoundedBuffer",
-            examples::bounded_buffer(),
-            ScenarioSpace::new(vec![
-                CallSpec::new("put", vec![Value::Int(1)]),
-                CallSpec::new("put", vec![Value::Int(2)]),
-                CallSpec::new("take", vec![]),
-            ]),
-        ),
-        (
-            "Semaphore",
-            examples::semaphore(),
-            ScenarioSpace::new(vec![
-                CallSpec::new("init", vec![Value::Int(1)]),
-                CallSpec::new("acquire", vec![]),
-                CallSpec::new("release", vec![]),
-            ]),
-        ),
-        // Readers–writers is the component where waiters wait on *different
-        // predicates*, so notify-for-notifyAll is a genuine FF-T5 here
-        // (a reader can consume the wake-up a writer needed), unlike the
-        // single-predicate monitors above where it is an equivalent mutant.
-        (
-            "ReadersWriters",
-            examples::readers_writers(),
-            ScenarioSpace::of_sessions(vec![
-                vec![CallSpec::new("startRead", vec![]), CallSpec::new("endRead", vec![])],
-                vec![
-                    CallSpec::new("startWrite", vec![]),
-                    CallSpec::new("endWrite", vec![]),
-                ],
-            ]),
-        ),
-    ];
+    // The full corpus — the five seed monitors plus the component zoo —
+    // with each component's scenario space from the canonical registry.
+    // (Readers–writers and the zoo's heterogeneous-waiter monitors are
+    // where notify-for-notifyAll is a genuine FF-T5; on single-predicate
+    // monitors it is an equivalent mutant.)
+    let studies: Vec<(&str, jcc_core::model::Component)> = full_corpus();
 
     let seq_config = MutationStudyConfig {
         parallelism: Parallelism::sequential(),
@@ -78,7 +39,10 @@ fn main() {
     let workers = par_config.parallelism.threads;
     let mut grand_directed = (0usize, 0usize);
     let mut grand_random = (0usize, 0usize);
-    for (name, component, space) in studies {
+    let mut components_scored = 0usize;
+    for (name, component) in studies {
+        let space = space_for(name)
+            .unwrap_or_else(|| panic!("{name} missing from the scenario registry"));
         say!("================================================================");
         say!("E5 mutation study: {name}");
         say!("================================================================");
@@ -98,6 +62,7 @@ fn main() {
         say!(
             "throughput: sequential {seq_time:.1?}, parallel x{workers} {par_time:.1?}\n"
         );
+        components_scored += 1;
         let (dd, dt) = result.directed_score();
         let (rd, rt) = result.random_score();
         grand_directed.0 += dd;
@@ -115,6 +80,7 @@ fn main() {
         grand_random.1,
         100.0 * grand_random.0 as f64 / grand_random.1 as f64,
     );
+    reporter.set_derived("components_scored", components_scored as f64);
     reporter.set_derived("behavioural_mutants", grand_directed.1 as f64);
     reporter.set_derived("detected_directed_total", grand_directed.0 as f64);
     reporter.set_derived("detected_random_total", grand_random.0 as f64);

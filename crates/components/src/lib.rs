@@ -17,6 +17,19 @@
 //! cyclic barrier ([`barrier`]), and — as a library extension with no model
 //! twin — a generic ring buffer ([`ring_buffer`]).
 //!
+//! Beyond the native/model pairs, two corpus extensions double the
+//! evaluation surface:
+//!
+//! * [`zoo`] — seven `java.util.concurrent`-shaped monitor families
+//!   (thread pool, future cell, cyclic barrier with generations, fair and
+//!   barging semaphores, read–write lock with upgrade/downgrade,
+//!   exchanger, bounded stack), each model-only, validated, analyzer-clean
+//!   and mutation-ready; [`zoo::full_corpus`] is the seed corpus plus the
+//!   zoo.
+//! * [`gen`] — a seeded, fully deterministic component generator whose
+//!   output is valid by construction, parameterised over guard / wait-site
+//!   / lock / padding counts; the E11 scaling sweep is built on it.
+//!
 //! Native components take fault-injection configs mirroring the model-level
 //! mutation operators, so the completion-time experiments (E6) can seed the
 //! same Table-1 failure classes in real threads.
@@ -27,10 +40,12 @@
 pub mod barrier;
 pub mod bounded_buffer;
 pub mod coverage;
+pub mod gen;
 pub mod producer_consumer;
 pub mod readers_writers;
 pub mod ring_buffer;
 pub mod semaphore;
+pub mod zoo;
 
 /// The Monitor IR twins of the native components.
 pub mod model {

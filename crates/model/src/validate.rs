@@ -2,8 +2,9 @@
 //! type checker, and the concurrency-context rules that Java enforces at
 //! run time (`IllegalMonitorStateException`) — here rejected statically.
 //!
-//! Also provides [`lints`]: non-fatal warnings such as *wait not guarded by
-//! a loop*, the textbook exposure to premature wake-ups (EF-T5).
+//! Non-fatal warnings (wait-not-in-loop, missing notifiers, unnecessary
+//! synchronization, and many more) live in `jcc_analyze::analyze`, which
+//! reports them as severity-ranked, failure-class-keyed diagnostics.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -124,40 +125,6 @@ impl fmt::Display for ValidationError {
 }
 
 impl std::error::Error for ValidationError {}
-
-/// A non-fatal lint finding.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by `jcc_analyze::analyze`, which reports these checks \
-            (and many more) as severity-ranked, failure-class-keyed diagnostics"
-)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Lint {
-    /// A `wait` whose immediately enclosing statement is not a `while` loop.
-    /// Such code re-enters the critical section without re-checking its
-    /// predicate and is exposed to premature wake-ups (EF-T5) and spurious
-    /// wake-ups.
-    WaitNotInLoop {
-        /// Method containing the wait.
-        method: String,
-    },
-    /// A synchronized method (or block) that neither waits nor notifies and
-    /// touches no shared field — candidate unnecessary synchronization
-    /// (EF-T1).
-    PossiblyUnnecessarySync {
-        /// The method in question.
-        method: String,
-    },
-    /// A method that calls `wait` but the component has no statement that
-    /// could ever notify that lock — every waiter is permanently suspended
-    /// (FF-T5).
-    NoNotifierForWait {
-        /// Method containing the wait.
-        method: String,
-        /// The lock waited on.
-        lock: String,
-    },
-}
 
 /// Validate a component. Returns all errors found (empty = valid).
 pub fn validate(component: &Component) -> Vec<ValidationError> {
@@ -536,154 +503,7 @@ fn expect_type(ctx: &mut MethodCtx<'_>, expr: &Expr, expected: Type, context: &s
     }
 }
 
-/// Resolve a lock reference to its dense identity within the component:
-/// `this` is 0, the `i`-th declared lock is `1 + i`. `None` means the lock
-/// was never declared — distinct from every real monitor.
-fn lock_identity(component: &Component, lock: &LockRef) -> Option<usize> {
-    match lock {
-        LockRef::This => Some(0),
-        LockRef::Named(n) => component.locks.iter().position(|l| l == n).map(|i| i + 1),
-    }
-}
-
-/// Run the non-fatal lints over a (valid) component.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by `jcc_analyze::analyze`, which reports these checks \
-            (and many more) as severity-ranked, failure-class-keyed diagnostics"
-)]
-#[allow(deprecated)]
-pub fn lints(component: &Component) -> Vec<Lint> {
-    let mut out = Vec::new();
-
-    // Collect which monitors anything notifies — by lock *identity*
-    // resolved through the declared-lock table (a name comparison would
-    // conflate the receiver with an auxiliary lock spelled `this`), deduped
-    // as a set rather than a grow-per-notify vector.
-    let mut notified: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-    for method in &component.methods {
-        crate::ast::visit_stmts(&method.body, &mut |s| {
-            if let Stmt::Notify { lock } | Stmt::NotifyAll { lock } = s {
-                if let Some(id) = lock_identity(component, lock) {
-                    notified.insert(id);
-                }
-            }
-        });
-    }
-
-    for method in &component.methods {
-        lint_block(&method.body, method, false, &mut out);
-        // FF-T5 structural check: waits with no possible notifier.
-        crate::ast::visit_stmts(&method.body, &mut |s| {
-            if let Stmt::Wait { lock } = s {
-                let waited = lock_identity(component, lock);
-                if waited.is_none() || !notified.contains(&waited.unwrap()) {
-                    out.push(Lint::NoNotifierForWait {
-                        method: method.name.clone(),
-                        lock: lock.to_string(),
-                    });
-                }
-            }
-        });
-        // EF-T1 candidate: synchronized method with no wait/notify and no
-        // field access.
-        if method.synchronized {
-            let mut touches_shared = false;
-            let mut uses_monitor = false;
-            crate::ast::visit_stmts(&method.body, &mut |s| match s {
-                Stmt::Wait { .. } | Stmt::Notify { .. } | Stmt::NotifyAll { .. } => {
-                    uses_monitor = true
-                }
-                Stmt::Assign {
-                    target: LValue::Field(_),
-                    ..
-                } => touches_shared = true,
-                _ => {}
-            });
-            // Field reads count too.
-            for_each_expr_in_block(&method.body, &mut |e| {
-                if matches!(e, Expr::Field(_)) {
-                    touches_shared = true;
-                }
-            });
-            if !touches_shared && !uses_monitor {
-                out.push(Lint::PossiblyUnnecessarySync {
-                    method: method.name.clone(),
-                });
-            }
-        }
-    }
-    out
-}
-
-#[allow(deprecated)]
-fn lint_block(block: &Block, method: &Method, in_while: bool, out: &mut Vec<Lint>) {
-    for stmt in block {
-        match stmt {
-            Stmt::Wait { .. }
-                if !in_while => {
-                    out.push(Lint::WaitNotInLoop {
-                        method: method.name.clone(),
-                    });
-                }
-            Stmt::While { body, .. } => lint_block(body, method, true, out),
-            Stmt::If {
-                then_branch,
-                else_branch,
-                ..
-            } => {
-                lint_block(then_branch, method, in_while, out);
-                lint_block(else_branch, method, in_while, out);
-            }
-            Stmt::Synchronized { body, .. } => lint_block(body, method, in_while, out),
-            _ => {}
-        }
-    }
-}
-
-fn for_each_expr_in_block(block: &Block, f: &mut impl FnMut(&Expr)) {
-    fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
-        f(e);
-        match e {
-            Expr::Unary(_, a) => walk_expr(a, f),
-            Expr::Binary(_, a, b) => {
-                walk_expr(a, f);
-                walk_expr(b, f);
-            }
-            Expr::Call(_, args) => {
-                for a in args {
-                    walk_expr(a, f);
-                }
-            }
-            _ => {}
-        }
-    }
-    for stmt in block {
-        match stmt {
-            Stmt::While { cond, body } => {
-                walk_expr(cond, f);
-                for_each_expr_in_block(body, f);
-            }
-            Stmt::If {
-                cond,
-                then_branch,
-                else_branch,
-            } => {
-                walk_expr(cond, f);
-                for_each_expr_in_block(then_branch, f);
-                for_each_expr_in_block(else_branch, f);
-            }
-            Stmt::Assign { value, .. } => walk_expr(value, f),
-            Stmt::Local { init, .. } => walk_expr(init, f),
-            Stmt::Return(Some(e)) => walk_expr(e, f),
-            Stmt::Synchronized { body, .. } => for_each_expr_in_block(body, f),
-            _ => {}
-        }
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated `lints` shim on purpose
 mod tests {
     use super::*;
     use crate::parser::parse_component;
@@ -779,93 +599,6 @@ mod tests {
     fn field_initializer_type_checked() {
         let e = errs(r#"class X { var n: int = "oops"; }"#);
         assert!(matches!(e[0], ValidationError::TypeMismatch { .. }));
-    }
-
-    #[test]
-    fn wait_not_in_loop_lint() {
-        let c = parse_component(
-            "class X { var go: bool = false; synchronized fn m() { if (!go) { wait; } notify; } }",
-        )
-        .unwrap();
-        assert!(validate(&c).is_empty());
-        let l = lints(&c);
-        assert!(l.iter().any(|l| matches!(l, Lint::WaitNotInLoop { .. })));
-    }
-
-    #[test]
-    fn wait_in_while_not_linted() {
-        let c = parse_component(crate::examples::PRODUCER_CONSUMER_SRC).unwrap();
-        let l = lints(&c);
-        assert!(!l.iter().any(|l| matches!(l, Lint::WaitNotInLoop { .. })));
-    }
-
-    #[test]
-    fn no_notifier_lint() {
-        let c = parse_component(
-            "class X { var v: int = 0; synchronized fn m() { while (v == 0) { wait; } } }",
-        )
-        .unwrap();
-        let l = lints(&c);
-        assert!(l.iter().any(|l| matches!(l, Lint::NoNotifierForWait { .. })));
-    }
-
-    #[test]
-    fn no_notifier_resolves_lock_identity_not_name() {
-        use crate::ast::{Component, Field, Method};
-        // An auxiliary lock *named* "this" is a different monitor from the
-        // receiver. The old implementation compared display names and
-        // treated a notify on the named lock as satisfying a wait on the
-        // receiver; identity resolution through the lock table must not.
-        let c = Component {
-            name: "X".into(),
-            locks: vec!["this".into()],
-            fields: vec![Field {
-                name: "v".into(),
-                ty: Type::Int,
-                init: Expr::Int(0),
-            }],
-            methods: vec![
-                Method {
-                    name: "waiter".into(),
-                    params: vec![],
-                    ret: None,
-                    synchronized: true,
-                    body: vec![Stmt::While {
-                        cond: Expr::eq(Expr::field("v"), Expr::Int(0)),
-                        body: vec![Stmt::Wait { lock: LockRef::This }],
-                    }],
-                },
-                Method {
-                    name: "poker".into(),
-                    params: vec![],
-                    ret: None,
-                    synchronized: false,
-                    body: vec![Stmt::Synchronized {
-                        lock: LockRef::Named("this".into()),
-                        body: vec![Stmt::NotifyAll {
-                            lock: LockRef::Named("this".into()),
-                        }],
-                    }],
-                },
-            ],
-        };
-        let l = lints(&c);
-        assert!(
-            l.iter().any(|l| matches!(l, Lint::NoNotifierForWait { .. })),
-            "notify on the aux lock must not satisfy a wait on the receiver: {l:?}"
-        );
-    }
-
-    #[test]
-    fn unnecessary_sync_lint() {
-        let c = parse_component(
-            "class X { synchronized fn m(v: int) -> int { return v + 1; } }",
-        )
-        .unwrap();
-        let l = lints(&c);
-        assert!(l
-            .iter()
-            .any(|l| matches!(l, Lint::PossiblyUnnecessarySync { .. })));
     }
 
     #[test]

@@ -409,6 +409,79 @@ mod tests {
         assert!(e.regressions[0].contains("disappeared"));
     }
 
+    /// A report shaped like the E11 corpus sweep writes it: per-size
+    /// census and throughput keys, the ladder length, and the curve
+    /// fingerprint — but no coverage key.
+    fn e11_report(scale: f64) -> RunReport {
+        let reg = Registry::new();
+        reg.counter("vm.explore.states").add(162_159);
+        let mut r = RunReport::from_registry("e11_corpus_sweep", ObsLevel::Summary, 2.5, &reg);
+        for (n, states) in [(1u32, 339.0), (2, 12_032.0), (3, 48_415.0), (4, 101_373.0)] {
+            r.set_derived(&format!("size{n}_states"), states);
+            r.set_derived(&format!("size{n}_states_per_sec"), states / 0.4 * scale);
+            r.set_derived(&format!("size{n}_diag_count"), 2.0 * n as f64);
+        }
+        r.set_derived("sweep_sizes", 4.0);
+        r.set_derived("curve_fnv1a", 1.234e15);
+        r.set_derived("states_per_sec", 63_000.0 * scale);
+        r
+    }
+
+    #[test]
+    fn e11_sweep_report_roundtrips_and_self_diffs_clean() {
+        let r = e11_report(1.0);
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r, "BENCH_e11.json round-trips losslessly");
+        let ledger = Ledger::from_reports(&[back, r]);
+        assert_eq!(ledger.regression_count(), 0, "self-diff is the CI smoke");
+        let derived_names: Vec<&str> = ledger.entries[0]
+            .derived
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        for key in ["size1_states", "size4_states_per_sec", "sweep_sizes", "curve_fnv1a"] {
+            assert!(derived_names.contains(&key), "missing {key} in {derived_names:?}");
+        }
+    }
+
+    #[test]
+    fn e11_throughput_drop_fires_the_per_sec_rule() {
+        let base = e11_report(1.0);
+        let slowed = e11_report(0.7);
+        let e = diff_reports(&base, &slowed);
+        // Every *_per_sec key fell to 0.7x (< the 0.8 floor): the aggregate
+        // plus one per ladder size. The census and diag-count keys are not
+        // throughput keys and must stay quiet.
+        assert_eq!(e.regressions.len(), 5, "{:?}", e.regressions);
+        assert!(e.regressions.iter().any(|r| r.contains("states_per_sec")));
+        assert!(e
+            .regressions
+            .iter()
+            .all(|r| !r.contains("_states ") && !r.contains("diag_count")));
+    }
+
+    #[test]
+    fn older_e11_reports_without_per_size_keys_still_diff() {
+        // An old-format BENCH_e11.json (before the per-size curve keys)
+        // must still parse leniently and diff against a new report without
+        // phantom regressions: a *_per_sec key present on only one side is
+        // not a throughput regression (only coverage keys flag absence).
+        let old_text: String = {
+            let mut r = e11_report(1.0);
+            r.derived.retain(|k, _| !k.starts_with("size"));
+            r.to_json_string()
+        };
+        let old = RunReport::from_json_str(&old_text).expect("old-format report parses");
+        let e = diff_reports(&old, &e11_report(1.0));
+        assert_eq!(e.regressions.len(), 0, "{:?}", e.regressions);
+        let appeared = e
+            .derived
+            .iter()
+            .filter(|d| d.base.is_none() && d.current.is_some())
+            .count();
+        assert_eq!(appeared, 12, "4 sizes x (states, states_per_sec, diag_count)");
+    }
+
     #[test]
     fn ledger_json_is_deterministic_and_tagged() {
         let a = report(1000, 450_000.0, Some(60.0));

@@ -1,0 +1,180 @@
+//! The canonical scenario-space registry for the evaluation corpus.
+//!
+//! One place — instead of per-harness copies — mapping every corpus
+//! component (the five seed monitors *and* the component zoo) to the
+//! [`ScenarioSpace`] its directed suites are built from. The E5 mutation
+//! study, the E10 static-analysis study and the parallel-determinism
+//! stress tests all look scenarios up here, so adding a zoo entry is one
+//! edit, not three.
+//!
+//! Spaces are behavioural choices, not boilerplate: session templates pair
+//! acquire-like calls with their releases (a thread that `lockWrite`s and
+//! never unlocks would drown every signature in deadlocks), keep at most
+//! one read-lock upgrader (two upgraders deadlock *correctly*), and give
+//! blocking methods a counterpart that can unblock them.
+
+use jcc_vm::{CallSpec, Value};
+
+use crate::scenario::ScenarioSpace;
+
+fn call(method: &str) -> CallSpec {
+    CallSpec::new(method, vec![])
+}
+
+fn call_i(method: &str, v: i64) -> CallSpec {
+    CallSpec::new(method, vec![Value::Int(v)])
+}
+
+/// The registered component names, in corpus order (seed five, then zoo).
+pub fn registered() -> Vec<&'static str> {
+    vec![
+        "ProducerConsumer",
+        "BoundedBuffer",
+        "Semaphore",
+        "ReadersWriters",
+        "Barrier",
+        "ThreadPool",
+        "FutureCell",
+        "CyclicBarrier",
+        "FairSemaphore",
+        "BargingSemaphore",
+        "ReadWriteLock",
+        "Exchanger",
+        "BoundedStack",
+    ]
+}
+
+/// The scenario space for a corpus component, or `None` for components
+/// outside the registry (specimens like `LockOrder` are analyzed
+/// statically, never scheduled).
+pub fn space_for(name: &str) -> Option<ScenarioSpace> {
+    let space = match name {
+        "ProducerConsumer" => ScenarioSpace::new(vec![
+            call("receive"),
+            CallSpec::new("send", vec![Value::Str("a".into())]),
+            CallSpec::new("send", vec![Value::Str("ab".into())]),
+        ]),
+        "BoundedBuffer" => ScenarioSpace::new(vec![
+            call_i("put", 1),
+            call_i("put", 2),
+            call("take"),
+        ]),
+        "Semaphore" => ScenarioSpace::new(vec![
+            call_i("init", 1),
+            call("acquire"),
+            call("release"),
+        ]),
+        "ReadersWriters" => ScenarioSpace::of_sessions(vec![
+            vec![call("startRead"), call("endRead")],
+            vec![call("startWrite"), call("endWrite")],
+        ]),
+        "Barrier" => ScenarioSpace::new(vec![call_i("init", 2), call("await")]),
+        "ThreadPool" => ScenarioSpace::new(vec![
+            call("submit"),
+            call("runTask"),
+            call("shutdownNow"),
+        ]),
+        "FutureCell" => ScenarioSpace::new(vec![
+            call("get"),
+            call_i("complete", 1),
+            call("isDone"),
+        ]),
+        "CyclicBarrier" => {
+            ScenarioSpace::new(vec![call("await"), call("reset"), call("repair")])
+        }
+        "FairSemaphore" => ScenarioSpace::of_sessions(vec![
+            vec![call("acquire"), call("release")],
+            vec![call("release")],
+        ]),
+        "BargingSemaphore" => ScenarioSpace::of_sessions(vec![
+            vec![call("acquire"), call("release")],
+            vec![call("tryAcquire")],
+            vec![call("release")],
+        ]),
+        "ReadWriteLock" => ScenarioSpace::of_sessions(vec![
+            vec![call("lockRead"), call("unlockRead")],
+            vec![call("lockWrite"), call("unlockWrite")],
+            vec![call("lockWrite"), call("downgrade"), call("unlockRead")],
+        ]),
+        "Exchanger" => {
+            ScenarioSpace::new(vec![call_i("exchange", 1), call_i("exchange", 2)])
+        }
+        "BoundedStack" => ScenarioSpace::new(vec![
+            call_i("push", 1),
+            call_i("push", 2),
+            call("pop"),
+        ]),
+        _ => return None,
+    };
+    Some(space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{greedy_cover_suite, GreedyConfig};
+
+    use jcc_components::zoo::full_corpus;
+
+    #[test]
+    fn every_full_corpus_component_is_registered() {
+        let names = registered();
+        assert_eq!(names.len(), 13);
+        for (name, _) in full_corpus() {
+            assert!(
+                names.contains(&name),
+                "{name} missing from the scenario registry"
+            );
+            assert!(space_for(name).is_some(), "{name} has no scenario space");
+        }
+    }
+
+    #[test]
+    fn registry_order_matches_full_corpus_order() {
+        let corpus_names: Vec<&str> = full_corpus().iter().map(|(n, _)| *n).collect();
+        assert_eq!(registered(), corpus_names);
+    }
+
+    #[test]
+    fn unknown_components_resolve_to_none() {
+        assert!(space_for("LockOrder").is_none());
+        assert!(space_for("RacyCounter").is_none());
+    }
+
+    #[test]
+    fn every_registered_space_names_real_methods() {
+        for (name, component) in full_corpus() {
+            let space = space_for(name).unwrap();
+            for template in &space.templates {
+                for call in template {
+                    assert!(
+                        component.method(&call.method).is_some(),
+                        "{name}: scenario calls unknown method {}",
+                        call.method
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_spaces_yield_nonempty_directed_suites() {
+        for name in ["ThreadPool", "FutureCell", "BoundedStack"] {
+            let component = full_corpus()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1;
+            let space = space_for(name).unwrap();
+            let suite = greedy_cover_suite(&component, &space, &GreedyConfig::default());
+            assert!(
+                !suite.scenarios.is_empty(),
+                "{name}: greedy suite came back empty"
+            );
+            assert!(
+                suite.coverage.covered_arcs() > 0,
+                "{name}: suite covers no arcs"
+            );
+        }
+    }
+}

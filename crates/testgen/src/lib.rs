@@ -9,6 +9,8 @@
 //!
 //! * [`scenario`] — the scenario space: call templates combined into
 //!   multi-thread test scenarios, sampled deterministically from a seed,
+//! * [`corpus`] — the canonical scenario-space registry for every
+//!   component of the evaluation corpus (seed monitors and zoo),
 //! * [`suite`] — greedy construction of an **arc-coverage suite** (each
 //!   added scenario must increase CoFG coverage, verified by exhaustive
 //!   schedule exploration) and the **undirected random baseline** the
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod conan;
+pub mod corpus;
 pub mod scenario;
 pub mod signature;
 pub mod suite;

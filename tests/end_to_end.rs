@@ -109,19 +109,15 @@ fn directed_suites_cover_all_feasible_arcs() {
 }
 
 #[test]
-fn pipeline_reports_lints_for_suspect_components() {
+fn analyzer_reports_suspect_but_valid_components() {
     let component = jcc_core::model::parse_component(
         "class OneShot { var fired: bool = false; synchronized fn arm() { if (!fired) { wait; } } }",
     )
     .unwrap();
     // Valid but suspicious: wait outside a loop and no notifier anywhere.
-    assert!(jcc_core::model::validate(&component).is_empty());
-    // The deprecated lint shim keeps working for old callers…
-    #[allow(deprecated)]
-    let lints = jcc_core::model::validate::lints(&component);
-    assert!(lints.len() >= 2, "expected wait-not-in-loop and no-notifier lints: {lints:?}");
-    // …and the analyzer that supersedes it reports the same defects with
+    // Validation accepts it; the analyzer reports both defects with
     // failure classes and severities attached.
+    assert!(jcc_core::model::validate(&component).is_empty());
     let report = jcc_core::analyze::analyze(&component);
     let classes = report.classes(jcc_core::analyze::Severity::Medium);
     assert!(classes.contains("EF-T5"), "{}", report.render());

@@ -7,9 +7,11 @@
 //! portfolio keeps the exhaustive DFS on one worker, and the mutation
 //! study fans independent matrix rows reassembled positionally.)
 
+use jcc_core::components::zoo::full_corpus;
 use jcc_core::model::examples;
 use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
 use jcc_core::pipeline::{mutation_study, MutationStudyConfig, MutationStudyResult};
+use jcc_core::testgen::corpus::space_for;
 use jcc_core::testgen::scenario::ScenarioSpace;
 use jcc_core::vm::{
     compile, explore, explore_portfolio, CallSpec, ExploreConfig, PortfolioConfig, ThreadSpec,
@@ -124,47 +126,26 @@ fn portfolio_census_identical_across_thread_counts_and_runs() {
     }
 }
 
-/// Every corpus component: the portfolio census equals sequential
-/// exploration at any worker count (including scenarios that deadlock or
-/// leave waiters — their path counts must agree too).
+/// Every component of the full corpus (seed monitors and zoo): the
+/// portfolio census equals sequential exploration at any worker count
+/// (including scenarios that deadlock or leave waiters — their path
+/// counts must agree too). One thread per session template from the
+/// canonical scenario registry.
 #[test]
 fn portfolio_census_identical_for_every_corpus_component() {
-    for (name, component) in examples::corpus() {
+    for (name, component) in full_corpus() {
         let compiled = compile(&component).unwrap();
-        let calls: Vec<CallSpec> = match name {
-            "ProducerConsumer" => vec![
-                CallSpec::new("receive", vec![]),
-                CallSpec::new("send", vec![Value::Str("a".into())]),
-            ],
-            "BoundedBuffer" => vec![
-                CallSpec::new("put", vec![Value::Int(1)]),
-                CallSpec::new("take", vec![]),
-            ],
-            "Semaphore" => vec![
-                CallSpec::new("init", vec![Value::Int(1)]),
-                CallSpec::new("acquire", vec![]),
-                CallSpec::new("release", vec![]),
-            ],
-            "ReadersWriters" => vec![
-                CallSpec::new("startRead", vec![]),
-                CallSpec::new("startWrite", vec![]),
-            ],
-            "Barrier" => vec![
-                CallSpec::new("init", vec![Value::Int(2)]),
-                CallSpec::new("await", vec![]),
-                CallSpec::new("await", vec![]),
-            ],
-            other => panic!("no scenario for {other}"),
-        };
+        let space = space_for(name).expect("corpus component is registered");
         let make_vm = || {
             Vm::new(
                 compiled.clone(),
-                calls
+                space
+                    .templates
                     .iter()
                     .enumerate()
-                    .map(|(i, call)| ThreadSpec {
+                    .map(|(i, session)| ThreadSpec {
                         name: format!("t{i}"),
-                        calls: vec![call.clone()],
+                        calls: session.clone(),
                     })
                     .collect(),
             )
@@ -231,70 +212,62 @@ fn mutation_matrix_identical_across_thread_counts_and_runs() {
     }
 }
 
-fn space_for(name: &str) -> ScenarioSpace {
-    match name {
-        "ProducerConsumer" => ScenarioSpace::new(vec![
-            CallSpec::new("receive", vec![]),
-            CallSpec::new("send", vec![Value::Str("a".into())]),
-            CallSpec::new("send", vec![Value::Str("ab".into())]),
-        ]),
-        "BoundedBuffer" => ScenarioSpace::new(vec![
-            CallSpec::new("put", vec![Value::Int(1)]),
-            CallSpec::new("put", vec![Value::Int(2)]),
-            CallSpec::new("take", vec![]),
-        ]),
-        "Semaphore" => ScenarioSpace::new(vec![
-            CallSpec::new("init", vec![Value::Int(1)]),
-            CallSpec::new("acquire", vec![]),
-            CallSpec::new("release", vec![]),
-        ]),
-        "ReadersWriters" => ScenarioSpace::of_sessions(vec![
-            vec![
-                CallSpec::new("startRead", vec![]),
-                CallSpec::new("endRead", vec![]),
-            ],
-            vec![
-                CallSpec::new("startWrite", vec![]),
-                CallSpec::new("endWrite", vec![]),
-            ],
-        ]),
-        "Barrier" => ScenarioSpace::new(vec![
-            CallSpec::new("init", vec![Value::Int(2)]),
-            CallSpec::new("await", vec![]),
-        ]),
-        other => panic!("no scenario space for {other}"),
+/// One component's mutation-study matrix, checked at the given worker
+/// counts against the sequential reference. Scenario spaces come from the
+/// canonical registry (`jcc_core::testgen::corpus`).
+fn assert_matrix_stable(name: &str, threads: &[usize]) {
+    let component = full_corpus()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("{name} not in the corpus"))
+        .1;
+    let space = space_for(name).expect("corpus component is registered");
+    let expected_mutants = jcc_core::model::mutate::all_mutants(&component).len();
+    let reference = mutation_study(&component, &space, &study_config(1));
+    assert_eq!(
+        reference.mutants.len(),
+        expected_mutants,
+        "{name}: sequential study lost mutants"
+    );
+    let reference_matrix = detection_matrix(&reference);
+    for &threads in threads {
+        let r = mutation_study(&component, &space, &study_config(threads));
+        assert_eq!(
+            r.mutants.len(),
+            expected_mutants,
+            "{name} threads={threads}: lost mutants"
+        );
+        assert_eq!(
+            detection_matrix(&r),
+            reference_matrix,
+            "{name} threads={threads}: matrix diverged"
+        );
     }
 }
 
-/// Stress: the parallel mutation study over the whole corpus at every
-/// worker count from 2 to 8 — no panics, no lost mutants, matrices all
-/// equal to the sequential run. Deliberately timing-free (a single-core
-/// runner must pass it too). Run with `cargo test -- --ignored`.
+/// CI-run, size-capped slice of the corpus stress test: two cheap
+/// components — one seed monitor and one zoo entry — through the full
+/// parallel mutation study at 2 and 4 workers, so the determinism
+/// guarantee is exercised on every PR rather than only behind
+/// `--ignored`. The exhaustive sweep over all thirteen components and
+/// worker counts 2–8 stays in the ignored stress test below.
+#[test]
+fn capped_corpus_mutation_study_matrix_stable_at_two_and_four_workers() {
+    for name in ["BoundedBuffer", "FutureCell"] {
+        assert_matrix_stable(name, &[2, 4]);
+    }
+}
+
+/// Stress: the parallel mutation study over the full corpus (seed
+/// monitors and zoo) at every worker count from 2 to 8 — no panics, no
+/// lost mutants, matrices all equal to the sequential run. Deliberately
+/// timing-free (a single-core runner must pass it too). Run with
+/// `cargo test -- --ignored`.
 #[test]
 #[ignore = "slow: full corpus x 7 thread counts"]
 fn stress_corpus_mutation_study_at_many_thread_counts() {
-    for (name, component) in examples::corpus() {
-        let space = space_for(name);
-        let expected_mutants = jcc_core::model::mutate::all_mutants(&component).len();
-        let reference = mutation_study(&component, &space, &study_config(1));
-        assert_eq!(
-            reference.mutants.len(),
-            expected_mutants,
-            "{name}: sequential study lost mutants"
-        );
-        let reference_matrix = detection_matrix(&reference);
-        for threads in 2..=8 {
-            let r = mutation_study(&component, &space, &study_config(threads));
-            assert_eq!(
-                r.mutants.len(),
-                expected_mutants,
-                "{name} threads={threads}: lost mutants"
-            );
-            assert_eq!(
-                detection_matrix(&r),
-                reference_matrix,
-                "{name} threads={threads}: matrix diverged"
-            );
-        }
+    let threads: Vec<usize> = (2..=8).collect();
+    for (name, _) in full_corpus() {
+        assert_matrix_stable(name, &threads);
     }
 }

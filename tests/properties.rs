@@ -179,6 +179,65 @@ fn every_corpus_mutant_roundtrips_through_the_printer() {
     }
 }
 
+// ---------- components: the generator is valid by construction ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any sized generator config yields a component that validates,
+    /// compiles, survives the printer round-trip, and explores to the
+    /// *same* census sequentially and under the portfolio at 1, 2 and 4
+    /// workers — with a deadlock-free call plan, for any seed.
+    #[test]
+    fn generated_components_roundtrip_and_explore_deterministically(
+        n in 1usize..=2,
+        seed in 0u64..1000,
+    ) {
+        use jcc_core::components::gen::{call_plan, generate, generate_source, GenConfig};
+        use jcc_core::vm::{explore, explore_portfolio, ExploreConfig, PortfolioConfig};
+
+        let cfg = GenConfig::sized(n, seed);
+        prop_assert_eq!(generate_source(&cfg), generate_source(&cfg));
+        let component = generate(&cfg); // panics unless it parses + validates
+        let printed = print_component(&component);
+        let reparsed = parse_component(&printed).unwrap();
+        prop_assert_eq!(&component, &reparsed);
+
+        let compiled = compile(&component).unwrap();
+        let make_vm = || {
+            Vm::new(
+                compiled.clone(),
+                call_plan(&cfg)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, calls)| ThreadSpec {
+                        name: format!("t{i}"),
+                        calls: calls.into_iter().map(|m| CallSpec::new(m, vec![])).collect(),
+                    })
+                    .collect(),
+            )
+        };
+        let reference = explore(make_vm(), &ExploreConfig::default(), None);
+        prop_assert!(!reference.truncated);
+        prop_assert!(reference.completed_paths > 0);
+        prop_assert_eq!(reference.deadlock_paths, 0, "call plan must be deadlock-free");
+        for threads in [1usize, 2, 4] {
+            let p = explore_portfolio(
+                make_vm(),
+                &PortfolioConfig {
+                    explore: ExploreConfig {
+                        parallelism: Parallelism::with_threads(threads),
+                        ..ExploreConfig::default()
+                    },
+                    ..PortfolioConfig::default()
+                },
+            );
+            let census = p.result.expect("census completes without early_exit");
+            prop_assert_eq!(census.tally(), reference.tally(), "threads={}", threads);
+        }
+    }
+}
+
 // ---------- vm: determinism and coverage monotonicity ----------
 
 proptest! {

@@ -8,8 +8,9 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use jcc_core::analyze::{analyze, AnalysisReport, Severity};
+use jcc_core::components::zoo::full_corpus;
 use jcc_core::model::mutate::{all_mutants, MutationKind};
-use jcc_core::model::{examples, parse_component};
+use jcc_core::model::{examples, parse_component, Component};
 
 /// Check codes present in `report` at `min` severity or above.
 fn codes(report: &AnalysisReport, min: Severity) -> BTreeSet<String> {
@@ -23,7 +24,8 @@ fn codes(report: &AnalysisReport, min: Severity) -> BTreeSet<String> {
 
 #[test]
 fn clean_corpus_earns_zero_high_severity_diagnostics() {
-    for (name, c) in examples::corpus() {
+    // The full corpus: the five seed monitors plus the component zoo.
+    for (name, c) in full_corpus() {
         let report = analyze(&c);
         assert_eq!(
             report.count(Severity::High),
@@ -251,6 +253,94 @@ fn drop_notify_mutants_raise_an_ff_t5_check() {
             );
         }
     }
+}
+
+// ---------- zoo fixtures: mutant positive, clean parent negative ----------
+
+fn zoo_component(name: &str) -> Component {
+    full_corpus()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("{name} not in the corpus"))
+        .1
+}
+
+/// For each mutant of `kind` seeded into the named zoo component, assert
+/// the analyzer reports a new `(check, class, method)` identity whose
+/// check is `expected_check` — and, as the negative, that the clean parent
+/// earns zero High diagnostics.
+fn assert_zoo_mutants_raise(name: &str, kind: MutationKind, expected_check: &str) {
+    let parent = zoo_component(name);
+    let parent_report = analyze(&parent);
+    assert_eq!(
+        parent_report.count(Severity::High),
+        0,
+        "{name} (correct) got High diagnostics:\n{}",
+        parent_report.render()
+    );
+    let parent_ids = parent_report.identities(Severity::Medium);
+    let mut seen = 0;
+    for (mutation, mutant) in all_mutants(&parent) {
+        if mutation.kind != kind {
+            continue;
+        }
+        seen += 1;
+        let mutant_ids = analyze(&mutant).identities(Severity::Medium);
+        let new: Vec<_> = mutant_ids.difference(&parent_ids).collect();
+        assert!(
+            new.iter().any(|(check, _, _)| check == expected_check),
+            "{name} / {}: expected new `{expected_check}`, got {new:?}",
+            mutation.label()
+        );
+    }
+    assert!(seen > 0, "no {kind:?} mutants on {name}");
+}
+
+#[test]
+fn future_cell_spurious_wait_mutants_raise_unconditional_wait() {
+    assert_zoo_mutants_raise("FutureCell", MutationKind::SpuriousWait, "unconditional-wait");
+}
+
+#[test]
+fn thread_pool_if_guarded_wait_mutants_raise_wait_not_in_loop() {
+    assert_zoo_mutants_raise(
+        "ThreadPool",
+        MutationKind::WaitIfInsteadOfWhile,
+        "wait-not-in-loop",
+    );
+}
+
+#[test]
+fn bounded_stack_drop_notify_mutants_raise_an_ff_t5_check() {
+    // Dropping one of BoundedStack's two broadcasts leaves the other, so
+    // the analyzer reports missed-notification (or, were it the only
+    // notifier, no-notifier-for-wait) — either way a new FF-T5 identity.
+    let parent = zoo_component("BoundedStack");
+    let parent_ids = analyze(&parent).identities(Severity::Medium);
+    let mut seen = 0;
+    for (mutation, mutant) in all_mutants(&parent) {
+        if mutation.kind != MutationKind::DropNotify {
+            continue;
+        }
+        seen += 1;
+        let mutant_ids = analyze(&mutant).identities(Severity::Medium);
+        let new: Vec<_> = mutant_ids.difference(&parent_ids).collect();
+        assert!(
+            new.iter().any(|(_, class, _)| class == "FF-T5"),
+            "BoundedStack / {}: expected a new FF-T5 diagnostic, got {new:?}",
+            mutation.label()
+        );
+    }
+    assert!(seen > 0, "no DropNotify mutants on BoundedStack");
+}
+
+#[test]
+fn exchanger_hold_lock_forever_mutants_raise_loop_holds_lock_forever() {
+    assert_zoo_mutants_raise(
+        "Exchanger",
+        MutationKind::HoldLockForever,
+        "loop-holds-lock-forever",
+    );
 }
 
 // ---------- properties: no panics, deterministic output ----------

@@ -283,5 +283,43 @@ fn main() {
     );
     reporter.set_derived("obs_overhead_pct", overhead_pct);
     reporter.set_derived("obs_noise_floor_pct", noise_floor_pct);
+
+    // --- capture-latency percentiles ---
+    // A 100k-event exercise of the lock-free capture path (the always-on
+    // monitor's producer side), against the sampled per-event latency
+    // histogram. Forced to `summary` like the overhead arms, restored
+    // after.
+    {
+        use jcc_core::petri::Transition as T;
+        use jcc_core::runtime::{EventKind, EventLog, MonitorId};
+        jcc_core::obs::set_level(jcc_core::obs::ObsLevel::Summary);
+        let log = EventLog::new();
+        for i in 0..100_000u64 {
+            let t = if i % 2 == 0 { T::T2 } else { T::T4 };
+            log.log_as(1 + (i & 3), MonitorId(i & 7), EventKind::Transition(t));
+            if i % 4096 == 0 {
+                log.drain_for_each(|_| {});
+            }
+        }
+        log.drain_for_each(|_| {});
+        assert_eq!(log.drop_count(), 0, "drained capture must be lossless");
+        jcc_core::obs::set_level(saved_level);
+        let snap = jcc_core::obs::global()
+            .histogram("runtime.capture.latency_ns")
+            .snapshot();
+        let (p50, p90, p99) = (
+            snap.percentile(50.0),
+            snap.percentile(90.0),
+            snap.percentile(99.0),
+        );
+        say!(
+            "\n--- capture latency (100k events, {} samples, log2 buckets) ---\n\
+             p50 {p50} ns, p90 {p90} ns, p99 {p99} ns",
+            snap.count
+        );
+        reporter.set_derived("capture_latency_p50_ns", p50 as f64);
+        reporter.set_derived("capture_latency_p90_ns", p90 as f64);
+        reporter.set_derived("capture_latency_p99_ns", p99 as f64);
+    }
     reporter.finish();
 }

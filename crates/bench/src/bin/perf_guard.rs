@@ -1,28 +1,35 @@
-//! Throughput and coverage regression guard for the e8 state-space
-//! benchmark.
+//! Throughput, coverage, and capture-overhead regression guard for the
+//! bench run reports.
 //!
-//! Compares the `states_per_sec` figure of a freshly generated
-//! `BENCH_e8.json` run report against the checked-in baseline in
-//! `ci/bench_baseline.json` and exits non-zero when the current run is more
-//! than 20% below the baseline. CI runs it right after the e8 bench smoke,
-//! so an accidental hot-path regression (a re-boxed marking, a dropped
-//! interner, a hash gone quadratic) fails the build instead of landing
-//! silently.
+//! Compares a freshly generated `BENCH_<exp>.json` run report against a
+//! checked-in baseline (`ci/bench_baseline*.json`) and exits non-zero when
+//! the current run regressed. CI runs it right after each bench smoke, so
+//! an accidental hot-path regression (a re-boxed marking, a dropped
+//! interner, a lock sneaking into the capture path) fails the build
+//! instead of landing silently.
 //!
-//! When the baseline also carries an `arc_coverage_pct` figure (CoFG arc
-//! coverage unioned over e8's exhaustive explorations), the guard
-//! additionally fails if the current run's coverage dropped by more than
-//! half a percentage point — or lost the figure entirely. Coverage is a
-//! correctness signal, not a timing: there is no noise head-room to grant,
-//! only the epsilon for float formatting. Baselines without the key skip
-//! the check (back-compat with pre-coverage reports).
+//! Three rules, each keyed off what the **baseline** declares:
 //!
-//! The comparison is deliberately one-sided: runs *faster* than baseline
-//! always pass, and the baseline is only ratcheted up by hand (update
-//! `ci/bench_baseline.json` alongside the optimisation that earned it).
-//! The 20% head-room absorbs same-machine-class scheduler noise; the
-//! baseline assumes runs on comparable hardware, which is what a pinned CI
-//! runner pool provides.
+//! * **Throughput** — for each known throughput key (`states_per_sec` for
+//!   the exploration benches, `events_per_sec` for the e12 live monitor)
+//!   that the baseline carries, the current run must reach [`FLOOR`] × the
+//!   baseline figure. A baseline with *no* throughput key is a
+//!   configuration error, not a pass.
+//! * **Coverage** — when the baseline carries `arc_coverage_pct`, the
+//!   current run may lose at most [`COVERAGE_EPSILON`] points and must not
+//!   lose the figure. Coverage is a correctness signal, not a timing.
+//! * **Capture overhead** — when the baseline carries
+//!   `max_capture_overhead_pct` (an absolute budget, not a measured
+//!   figure), the current run's `capture_overhead_pct` must not exceed
+//!   it. The e12 budget is 5%: an always-on monitor that costs more than
+//!   that is not always-on in practice.
+//!
+//! The throughput comparison is deliberately one-sided: runs *faster*
+//! than baseline always pass, and the baseline is only ratcheted up by
+//! hand (update the baseline file alongside the optimisation that earned
+//! it). The 20% head-room absorbs same-machine-class scheduler noise; the
+//! baseline assumes runs on comparable hardware, which is what a pinned
+//! CI runner pool provides.
 //!
 //! Usage: `perf_guard [current.json] [baseline.json]` — both arguments
 //! optional, defaulting to `BENCH_e8.json` and `ci/bench_baseline.json`
@@ -36,6 +43,10 @@ const FLOOR: f64 = 0.8;
 /// Percentage points of arc coverage a run may lose before failing —
 /// float-formatting slack only, coverage is not a timing.
 const COVERAGE_EPSILON: f64 = 0.5;
+
+/// Every throughput figure the guard knows how to gate. A baseline opts
+/// into a gate by carrying the key.
+const THROUGHPUT_KEYS: &[&str] = &["states_per_sec", "events_per_sec"];
 
 /// Extract the value of the exact quoted key `"{key}"` from a JSON
 /// document with a quoted-token scan.
@@ -56,9 +67,30 @@ fn quoted_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// The e8 throughput figure.
-fn states_per_sec(json: &str) -> Option<f64> {
-    quoted_number(json, "states_per_sec")
+/// Gate one throughput key present in the baseline. Returns `true` on
+/// failure.
+fn gate_throughput(key: &str, current: Option<f64>, baseline: f64, current_path: &str) -> bool {
+    let Some(current) = current else {
+        eprintln!(
+            "perf_guard: FAIL — baseline has {key} ({baseline:.0}) but the run report \
+             {current_path} lost the figure"
+        );
+        return true;
+    };
+    let floor = baseline * FLOOR;
+    let ratio = current / baseline.max(1e-9);
+    println!(
+        "perf_guard: {key} current {current:.0} vs baseline {baseline:.0} \
+         (x{ratio:.2}, floor {floor:.0})"
+    );
+    if current < floor {
+        eprintln!(
+            "perf_guard: FAIL — {key} regressed more than {:.0}% below baseline",
+            (1.0 - FLOOR) * 100.0
+        );
+        return true;
+    }
+    false
 }
 
 fn read_report(path: &str, what: &str) -> Result<String, String> {
@@ -83,35 +115,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (current, baseline) = match (
-        states_per_sec(&current_text),
-        states_per_sec(&baseline_text),
-    ) {
-        (Some(c), Some(b)) => (c, b),
-        (c, b) => {
-            if c.is_none() {
-                eprintln!(
-                    "perf_guard: no \"states_per_sec\" figure in run report {current_path}"
-                );
-            }
-            if b.is_none() {
-                eprintln!("perf_guard: no \"states_per_sec\" figure in baseline {baseline_path}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
 
     let mut failed = false;
-    let floor = baseline * FLOOR;
-    let ratio = current / baseline.max(1e-9);
-    println!(
-        "perf_guard: states_per_sec current {current:.0} vs baseline {baseline:.0} \
-         (x{ratio:.2}, floor {floor:.0})"
-    );
-    if current < floor {
+
+    // Throughput gates: one per key the baseline declares.
+    let mut gated = 0;
+    for key in THROUGHPUT_KEYS {
+        if let Some(base) = quoted_number(&baseline_text, key) {
+            gated += 1;
+            failed |= gate_throughput(key, quoted_number(&current_text, key), base, &current_path);
+        }
+    }
+    if gated == 0 {
         eprintln!(
-            "perf_guard: FAIL — throughput regressed more than {:.0}% below baseline",
-            (1.0 - FLOOR) * 100.0
+            "perf_guard: FAIL — baseline {baseline_path} declares no throughput figure \
+             (expected one of {THROUGHPUT_KEYS:?})"
         );
         failed = true;
     }
@@ -142,6 +160,32 @@ fn main() -> ExitCode {
         }
     }
 
+    // Capture-overhead budget: only when the baseline sets one.
+    if let Some(budget) = quoted_number(&baseline_text, "max_capture_overhead_pct") {
+        match quoted_number(&current_text, "capture_overhead_pct") {
+            None => {
+                eprintln!(
+                    "perf_guard: FAIL — baseline budgets capture overhead ({budget:.1}%) but \
+                     the run report has no capture_overhead_pct figure"
+                );
+                failed = true;
+            }
+            Some(overhead) => {
+                println!(
+                    "perf_guard: capture_overhead_pct current {overhead:.2} vs budget \
+                     {budget:.1}"
+                );
+                if overhead > budget {
+                    eprintln!(
+                        "perf_guard: FAIL — capture overhead {overhead:.2}% exceeds the \
+                         {budget:.1}% budget"
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
     if failed {
         return ExitCode::FAILURE;
     }
@@ -157,18 +201,24 @@ mod tests {
     fn extracts_exact_key_not_derived_variants() {
         let json = r#"{"derived":{"boxed_states_per_sec":99.0,
             "packed_states_per_sec":88.0,"states_per_sec":123456.5}}"#;
-        assert_eq!(states_per_sec(json), Some(123456.5));
+        assert_eq!(quoted_number(json, "states_per_sec"), Some(123456.5));
     }
 
     #[test]
     fn missing_key_is_none() {
-        assert_eq!(states_per_sec(r#"{"packed_states_per_sec":1.0}"#), None);
-        assert_eq!(states_per_sec("{}"), None);
+        assert_eq!(
+            quoted_number(r#"{"packed_states_per_sec":1.0}"#, "states_per_sec"),
+            None
+        );
+        assert_eq!(quoted_number("{}", "states_per_sec"), None);
     }
 
     #[test]
     fn scientific_notation_parses() {
-        assert_eq!(states_per_sec(r#"{"states_per_sec":1.25e5}"#), Some(1.25e5));
+        assert_eq!(
+            quoted_number(r#"{"states_per_sec":1.25e5}"#, "states_per_sec"),
+            Some(1.25e5)
+        );
     }
 
     #[test]
@@ -176,5 +226,28 @@ mod tests {
         let json = r#"{"derived":{"arc_coverage_pct":100,"states_per_sec":5.0}}"#;
         assert_eq!(quoted_number(json, "arc_coverage_pct"), Some(100.0));
         assert_eq!(quoted_number(json, "absent_key"), None);
+    }
+
+    #[test]
+    fn throughput_gate_applies_floor_one_sided() {
+        // Above the floor, at the floor, and faster-than-baseline all pass.
+        assert!(!gate_throughput("states_per_sec", Some(90.0), 100.0, "r"));
+        assert!(!gate_throughput("states_per_sec", Some(80.0), 100.0, "r"));
+        assert!(!gate_throughput("states_per_sec", Some(500.0), 100.0, "r"));
+        // Below the floor, or the figure lost entirely, fails.
+        assert!(gate_throughput("states_per_sec", Some(79.0), 100.0, "r"));
+        assert!(gate_throughput("events_per_sec", None, 100.0, "r"));
+    }
+
+    #[test]
+    fn e12_keys_extract_from_a_live_monitor_report() {
+        let json = r#"{"derived":{"capture_overhead_pct":3.3,"drop_rate_pct":0,
+            "events_per_sec":91609.4,"states_per_sec":0}}"#;
+        assert_eq!(quoted_number(json, "events_per_sec"), Some(91609.4));
+        assert_eq!(quoted_number(json, "capture_overhead_pct"), Some(3.3));
+        let baseline = r#"{"derived":{"events_per_sec":40000,
+            "max_capture_overhead_pct":5.0}}"#;
+        assert_eq!(quoted_number(baseline, "max_capture_overhead_pct"), Some(5.0));
+        assert_eq!(quoted_number(baseline, "states_per_sec"), None);
     }
 }

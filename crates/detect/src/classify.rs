@@ -207,6 +207,52 @@ pub fn classify_trace_events(events: &[crate::normalize::MonEvent]) -> Vec<Findi
     out
 }
 
+/// Classify lost notifications (FF-T5): notifications issued on a monitor
+/// while its wait set was empty — a wake-up nobody could receive. One
+/// finding per monitor, tallying every wasted notify.
+pub fn classify_lost_notifications(events: &[jcc_runtime::Event]) -> Vec<Finding> {
+    let mut counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for e in events {
+        if let jcc_runtime::EventKind::NotifyIssued { waiters: 0, .. } = e.kind {
+            *counts.entry(e.monitor.0).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(monitor, count)| {
+            Finding::new(
+                Deviation::FailureToFire,
+                Transition::T5,
+                format!(
+                    "monitor {monitor} issued {count} notification(s) with no thread in the wait \
+                     set — the wake-ups were lost"
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The post-hoc reference for the online monitor's differential guarantee
+/// (`jcc_runtime::online`): lockset races, lock-order cycles and lost
+/// notifications over a full runtime event stream, in that order, deduped.
+/// On any fully-sampled, no-drop stream,
+/// `OnlineMonitor::verdicts()` byte-matches this classification — pinned
+/// by the `online_monitor` integration suite.
+///
+/// (Deliberately *not* [`classify_trace_events`]: that one adds
+/// happens-before analysis and suppresses lockset findings HB already
+/// proved, which a single-pass online detector cannot reproduce.)
+pub fn classify_runtime_events(events: &[jcc_runtime::Event]) -> Vec<Finding> {
+    let norm = crate::normalize::from_runtime_log(events);
+    let mut out = classify_races(&crate::lockset::LocksetAnalyzer::analyze(&norm));
+    out.extend(classify_cycles(
+        &crate::lockorder::LockOrderGraph::build(&norm).cycles(),
+    ));
+    out.extend(classify_lost_notifications(events));
+    dedupe(&mut out);
+    out
+}
+
 fn dedupe(findings: &mut Vec<Finding>) {
     let mut seen = std::collections::HashSet::new();
     findings.retain(|f| seen.insert((f.class, f.evidence.clone())));
@@ -328,6 +374,51 @@ mod tests {
     fn finding_display() {
         let f = Finding::new(Deviation::FailureToFire, Transition::T5, "lost wakeup");
         assert_eq!(f.to_string(), "FF-T5: lost wakeup");
+    }
+
+    #[test]
+    fn classify_runtime_events_is_the_online_reference() {
+        use jcc_petri::Transition as T;
+        use jcc_runtime::{Event, EventKind, MonitorId};
+        let ev = |seq: u64, thread: u64, monitor: u64, kind: EventKind| Event {
+            seq,
+            thread,
+            monitor: MonitorId(monitor),
+            kind,
+        };
+        let events = vec![
+            // Unprotected cross-thread writes: FF-T1 on `x`.
+            ev(0, 1, 0, EventKind::Write { var: "x".into() }),
+            ev(1, 2, 0, EventKind::Write { var: "x".into() }),
+            // Opposite nesting of monitors 1 and 2: FF-T2.
+            ev(2, 1, 1, EventKind::Transition(T::T2)),
+            ev(3, 1, 2, EventKind::Transition(T::T2)),
+            ev(4, 1, 2, EventKind::Transition(T::T4)),
+            ev(5, 1, 1, EventKind::Transition(T::T4)),
+            ev(6, 2, 2, EventKind::Transition(T::T2)),
+            ev(7, 2, 1, EventKind::Transition(T::T2)),
+            ev(8, 2, 1, EventKind::Transition(T::T4)),
+            ev(9, 2, 2, EventKind::Transition(T::T4)),
+            // Two wasted notifies on monitor 3: FF-T5, tallied once.
+            ev(10, 1, 3, EventKind::NotifyIssued { all: false, waiters: 0 }),
+            ev(11, 1, 3, EventKind::NotifyIssued { all: true, waiters: 0 }),
+            // A received notify is not lost.
+            ev(12, 1, 2, EventKind::NotifyIssued { all: true, waiters: 1 }),
+            // Capture gaps are ignored post-hoc.
+            ev(13, 2, 0, EventKind::CaptureGap { dropped: 5 }),
+        ];
+        let texts: Vec<String> = classify_runtime_events(&events)
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        assert_eq!(texts.len(), 3, "{texts:?}");
+        assert!(texts[0].starts_with("FF-T1") && texts[0].contains("`x`"), "{texts:?}");
+        assert!(texts[1].starts_with("FF-T2") && texts[1].contains("[1, 2]"), "{texts:?}");
+        assert_eq!(
+            texts[2],
+            "FF-T5: monitor 3 issued 2 notification(s) with no thread in the wait \
+             set — the wake-ups were lost"
+        );
     }
 
     #[test]

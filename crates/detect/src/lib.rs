@@ -32,7 +32,10 @@ pub mod lockorder;
 pub mod lockset;
 pub mod normalize;
 
-pub use classify::{classify_explore, classify_outcome, classify_trace_events, Finding};
+pub use classify::{
+    classify_explore, classify_lost_notifications, classify_outcome, classify_runtime_events,
+    classify_trace_events, Finding,
+};
 pub use hb::{HbAnalyzer, HbRace};
 pub use completion::{check_completions, CompletionExpectation, Expectation, Violation};
 pub use lockorder::{LockOrderCycle, LockOrderGraph};

@@ -13,7 +13,11 @@
 //!   falls below [`THROUGHPUT_FLOOR`] × base (the perf-guard floor);
 //! * a derived key ending in `_pct` whose name contains `coverage`
 //!   regresses when it drops more than [`COVERAGE_EPSILON`] percentage
-//!   points, or disappears entirely.
+//!   points, or disappears entirely;
+//! * a derived key ending in `_pct` whose name contains `drop` (the E12
+//!   live-monitor drop rates) regresses in the *opposite* direction: it
+//!   flags when the value **rises** more than [`DROP_EPSILON`] percentage
+//!   points above base, or newly appears above [`DROP_EPSILON`].
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -30,6 +34,10 @@ pub const THROUGHPUT_FLOOR: f64 = 0.8;
 
 /// Coverage keys may lose at most this many percentage points.
 pub const COVERAGE_EPSILON: f64 = 0.5;
+
+/// Drop-rate keys may rise at most this many percentage points before the
+/// monitor is considered to be shedding events it used to keep.
+pub const DROP_EPSILON: f64 = 0.5;
 
 /// One counter whose value differs between two runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +109,10 @@ fn is_coverage_key(name: &str) -> bool {
     name.ends_with("_pct") && name.contains("coverage")
 }
 
+fn is_drop_rate_key(name: &str) -> bool {
+    name.ends_with("_pct") && name.contains("drop")
+}
+
 /// Diff `current` against `base` and flag regressions.
 pub fn diff_reports(base: &RunReport, current: &RunReport) -> LedgerEntry {
     let counter_names: BTreeSet<&String> =
@@ -145,6 +157,14 @@ pub fn diff_reports(base: &RunReport, current: &RunReport) -> LedgerEntry {
             }
             (Some(b), None) if is_coverage_key(name) => {
                 regressions.push(format!("{name} disappeared (was {b:.1})"));
+            }
+            (Some(b), Some(c)) if is_drop_rate_key(name) && c > b + DROP_EPSILON => {
+                regressions.push(format!(
+                    "{name} rose {b:.1} -> {c:.1} (more than {DROP_EPSILON} points)"
+                ));
+            }
+            (None, Some(c)) if is_drop_rate_key(name) && c > DROP_EPSILON => {
+                regressions.push(format!("{name} appeared at {c:.1} (above {DROP_EPSILON})"));
             }
             _ => {}
         }
@@ -480,6 +500,78 @@ mod tests {
             .filter(|d| d.base.is_none() && d.current.is_some())
             .count();
         assert_eq!(appeared, 12, "4 sizes x (states, states_per_sec, diag_count)");
+    }
+
+    /// A report shaped like the E12 live-monitor bench writes it: capture
+    /// throughput, overhead, drop rate, and latency percentiles.
+    fn e12_report(drop_rate: f64, events_per_sec: f64) -> RunReport {
+        let reg = Registry::new();
+        reg.counter("runtime.events").add(2_000_000);
+        reg.counter("runtime.capture.dropped").add((drop_rate * 20_000.0) as u64);
+        let mut r = RunReport::from_registry("e12_live_monitor", ObsLevel::Summary, 3.0, &reg);
+        r.set_derived("events_per_sec", events_per_sec);
+        r.set_derived("capture_overhead_pct", 2.4);
+        r.set_derived("drop_rate_pct", drop_rate);
+        r.set_derived("capture_latency_p50_ns", 64.0);
+        r.set_derived("capture_latency_p99_ns", 512.0);
+        r
+    }
+
+    #[test]
+    fn e12_report_self_diffs_clean_and_roundtrips() {
+        let r = e12_report(0.0, 4_000_000.0);
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r, "BENCH_e12.json round-trips losslessly");
+        let ledger = Ledger::from_reports(&[back, r]);
+        assert_eq!(ledger.regression_count(), 0, "self-diff is the CI smoke");
+        let derived_names: Vec<&str> = ledger.entries[0]
+            .derived
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        for key in ["events_per_sec", "capture_overhead_pct", "drop_rate_pct"] {
+            assert!(derived_names.contains(&key), "missing {key} in {derived_names:?}");
+        }
+    }
+
+    #[test]
+    fn drop_rate_rise_fires_a_regression() {
+        let base = e12_report(0.0, 4_000_000.0);
+        let drift = e12_report(0.3, 4_000_000.0);
+        assert_eq!(
+            diff_reports(&base, &drift).regressions.len(),
+            0,
+            "rises within DROP_EPSILON stay quiet"
+        );
+        let shedding = e12_report(4.2, 4_000_000.0);
+        let e = diff_reports(&base, &shedding);
+        assert_eq!(e.regressions.len(), 1, "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("drop_rate_pct"), "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("rose"), "{:?}", e.regressions);
+    }
+
+    #[test]
+    fn drop_rate_improvement_and_disappearance_stay_quiet() {
+        let base = e12_report(4.2, 4_000_000.0);
+        let better = e12_report(0.0, 4_000_000.0);
+        assert_eq!(diff_reports(&base, &better).regressions.len(), 0);
+        // Unlike coverage keys, a drop-rate key vanishing is not a
+        // regression — an uninstrumented comparison run just lacks it.
+        let mut gone = e12_report(0.0, 4_000_000.0);
+        gone.derived.retain(|k, _| k != "drop_rate_pct");
+        assert_eq!(diff_reports(&base, &gone).regressions.len(), 0);
+    }
+
+    #[test]
+    fn drop_rate_appearing_above_epsilon_fires() {
+        let mut base = e12_report(0.0, 4_000_000.0);
+        base.derived.retain(|k, _| k != "drop_rate_pct");
+        let appeared = e12_report(2.0, 4_000_000.0);
+        let e = diff_reports(&base, &appeared);
+        assert_eq!(e.regressions.len(), 1, "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("appeared"), "{:?}", e.regressions);
+        let tiny = e12_report(0.2, 4_000_000.0);
+        assert_eq!(diff_reports(&base, &tiny).regressions.len(), 0);
     }
 
     #[test]

@@ -45,6 +45,10 @@
 
 pub mod events;
 pub mod monitor;
+pub mod online;
+pub mod ring;
 
 pub use events::{current_thread_id, Event, EventKind, EventLog, MonitorId};
 pub use monitor::{JavaMonitor, MonitorGuard};
+pub use online::{OnlineAlert, OnlineFinding, OnlineMonitor};
+pub use ring::SpscRing;

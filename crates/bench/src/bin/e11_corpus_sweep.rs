@@ -68,6 +68,25 @@ fn scenario_vm(cfg: &GenConfig) -> Vm {
     Vm::new(compiled, threads)
 }
 
+/// [`scenario_vm`] with every thread sharing one display name, so threads
+/// with identical call sessions form symmetry groups (names are
+/// display-only; the semantics are unchanged).
+fn symmetric_scenario_vm(cfg: &GenConfig) -> Vm {
+    let component = generate(cfg);
+    let compiled = compile(&component).expect("generated component compiles");
+    let threads: Vec<ThreadSpec> = call_plan(cfg)
+        .into_iter()
+        .map(|calls| ThreadSpec {
+            name: "w".into(),
+            calls: calls
+                .into_iter()
+                .map(|m| CallSpec::new(m, vec![]))
+                .collect(),
+        })
+        .collect();
+    Vm::new(compiled, threads)
+}
+
 /// One pass over the ladder. Returns the canonical (timing-free) curve and
 /// the per-size figures `(states, seconds, diag_count)`.
 fn sweep(check_portfolio: bool) -> (String, Vec<(usize, usize, f64, usize)>) {
@@ -180,6 +199,58 @@ fn main() {
         );
         reporter.set_derived(&format!("size{n}_diag_count"), *diags as f64);
     }
+    // --- reduction on/off: ample + symmetry across the ladder ---
+    // Each size explored full and reduced; the failure-class existence
+    // booleans must agree (the proof-grade differential lives in
+    // tests/reduction_equivalence.rs — this arm is the scaling figure).
+    say!("\nreduction (ample + thread symmetry) vs full exploration:");
+    let mut full_total = 0f64;
+    let mut reduced_total = 0f64;
+    for &n in &SIZES {
+        let cfg = GenConfig::sized(n, SEED);
+        let full = explore(scenario_vm(&cfg), &ExploreConfig::default(), None);
+        let t0 = Instant::now();
+        let reduced = explore(
+            symmetric_scenario_vm(&cfg),
+            &ExploreConfig {
+                symmetry: true,
+                ample: true,
+                ..ExploreConfig::default()
+            },
+            None,
+        );
+        let red_secs = t0.elapsed().as_secs_f64().max(1e-9);
+        assert!(!reduced.truncated, "size {n}: reduced census truncated");
+        assert_eq!(
+            (
+                full.completed_paths > 0,
+                full.deadlock_paths > 0,
+                full.fault_paths > 0,
+                full.cycle_paths > 0,
+            ),
+            (
+                reduced.completed_paths > 0,
+                reduced.deadlock_paths > 0,
+                reduced.fault_paths > 0,
+                reduced.cycle_paths > 0,
+            ),
+            "size {n}: reduction changed the failure classes"
+        );
+        assert!(reduced.states <= full.states, "size {n}: reduction grew states");
+        full_total += full.states as f64;
+        reduced_total += reduced.states as f64;
+        say!(
+            "size {n}: full {} states, reduced {} in {red_secs:.3}s \
+             (x{:.2}, {} branches pruned)",
+            full.states,
+            reduced.states,
+            full.states as f64 / reduced.states.max(1) as f64,
+            reduced.ample_pruned
+        );
+        reporter.set_derived(&format!("size{n}_reduced_states"), reduced.states as f64);
+    }
+    reporter.set_derived("reduction_factor", full_total / reduced_total.max(1.0));
+
     reporter.set_derived("sweep_sizes", SIZES.len() as f64);
     reporter.set_derived(
         "curve_fnv1a",

@@ -45,8 +45,17 @@ const FLOOR: f64 = 0.8;
 const COVERAGE_EPSILON: f64 = 0.5;
 
 /// Every throughput figure the guard knows how to gate. A baseline opts
-/// into a gate by carrying the key.
-const THROUGHPUT_KEYS: &[&str] = &["states_per_sec", "events_per_sec"];
+/// into a gate by carrying the key. `reduction_factor` (full states per
+/// reduced state) and `reduction_equiv_states_per_sec` (full-size states
+/// per reduced-run second) gate the ample-set + thread-symmetry
+/// reductions: losing either means the reduction stopped pruning or
+/// stopped being fast, both regressions.
+const THROUGHPUT_KEYS: &[&str] = &[
+    "states_per_sec",
+    "events_per_sec",
+    "reduction_factor",
+    "reduction_equiv_states_per_sec",
+];
 
 /// Extract the value of the exact quoted key `"{key}"` from a JSON
 /// document with a quoted-token scan.
@@ -237,6 +246,22 @@ mod tests {
         // Below the floor, or the figure lost entirely, fails.
         assert!(gate_throughput("states_per_sec", Some(79.0), 100.0, "r"));
         assert!(gate_throughput("events_per_sec", None, 100.0, "r"));
+    }
+
+    #[test]
+    fn reduction_keys_are_gated_when_the_baseline_carries_them() {
+        let json = r#"{"derived":{"reduction_factor":120.5,
+            "reduction_equiv_states_per_sec":2.5e6,"states_per_sec":1.0}}"#;
+        assert_eq!(quoted_number(json, "reduction_factor"), Some(120.5));
+        assert_eq!(
+            quoted_number(json, "reduction_equiv_states_per_sec"),
+            Some(2.5e6)
+        );
+        assert!(THROUGHPUT_KEYS.contains(&"reduction_factor"));
+        assert!(THROUGHPUT_KEYS.contains(&"reduction_equiv_states_per_sec"));
+        // One-sided like every throughput gate: a deeper reduction passes.
+        assert!(!gate_throughput("reduction_factor", Some(200.0), 120.0, "r"));
+        assert!(gate_throughput("reduction_factor", Some(90.0), 120.0, "r"));
     }
 
     #[test]

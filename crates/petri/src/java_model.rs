@@ -122,6 +122,19 @@ impl JavaNet {
         &self.net
     }
 
+    /// The thread-permutation symmetry of this composition: all threads
+    /// are identical copies of Figure 1, so their four-place lanes
+    /// (contiguous `A..D` runs after the shared `E` at index 0) are
+    /// interchangeable. Feed this to
+    /// [`crate::reach::ReachLimits::reduction`] to explore the quotient.
+    pub fn thread_symmetry(&self) -> crate::reduce::SymmetrySpec {
+        crate::reduce::SymmetrySpec {
+            first_place: 1,
+            lanes: self.threads as u32,
+            lane_width: 4,
+        }
+    }
+
     /// Number of modeled threads.
     pub fn threads(&self) -> usize {
         self.threads

@@ -26,12 +26,14 @@ pub mod java_model;
 pub mod net;
 pub mod parallel;
 pub mod reach;
+pub mod reduce;
 pub mod state;
 pub mod transition;
 
 pub use java_model::{JavaNet, ThreadPlace};
 pub use net::{Marking, Net, NetBuilder, NetError, PlaceId, TransId};
-pub use parallel::{parallel_map, Parallelism};
+pub use parallel::{parallel_map, BatchPolicy, Parallelism};
 pub use reach::{ReachGraph, ReachLimits, ReachStats};
+pub use reduce::{Reduction, StubbornSets, SymmetrySpec};
 pub use state::{PackedMarking, PackedNet, StateId, StateStore, MAX_PACKED_PLACES};
 pub use transition::{Deviation, FailureClass, Transition, ALL_FAILURE_CLASSES};

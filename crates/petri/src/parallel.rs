@@ -61,6 +61,63 @@ impl Default for Parallelism {
     }
 }
 
+/// How many frontier states a parallel worker pops from its own queue (and
+/// steals from a victim) per lock acquisition.
+///
+/// The original fixed sizes (8 own / 4 steal) starve the steal path on
+/// small frontiers: one worker drains its whole queue in a few batched
+/// pops before anyone else sees work, so `petri.reach.steals` stays
+/// near zero and the frontier never spreads. `Adaptive` takes at most
+/// half of what is visible, leaving the rest stealable. Batch sizes only
+/// affect scheduling — the canonically renumbered result graph is
+/// byte-identical under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Take `min(cap, max(1, len/2))` states per pop: half the visible
+    /// queue, capped at the old fixed sizes (8 own / 4 steal).
+    #[default]
+    Adaptive,
+    /// Fixed batch sizes (clamped up to 1 each).
+    Fixed {
+        /// States popped from the worker's own queue per lock hold.
+        own: usize,
+        /// States stolen from a victim's queue per lock hold.
+        steal: usize,
+    },
+}
+
+/// Cap on adaptive own-queue batches (the old fixed own size).
+pub const OWN_BATCH_CAP: usize = 8;
+/// Cap on adaptive steal batches (the old fixed steal size).
+pub const STEAL_BATCH_CAP: usize = 4;
+
+impl BatchPolicy {
+    /// The legacy fixed 8/4 policy.
+    pub const FIXED_LEGACY: BatchPolicy = BatchPolicy::Fixed {
+        own: OWN_BATCH_CAP,
+        steal: STEAL_BATCH_CAP,
+    };
+
+    /// How many states to pop from the worker's own queue, given its
+    /// current visible length.
+    #[inline]
+    pub fn own_batch(self, queue_len: usize) -> usize {
+        match self {
+            BatchPolicy::Adaptive => (queue_len / 2).clamp(1, OWN_BATCH_CAP),
+            BatchPolicy::Fixed { own, .. } => own.max(1),
+        }
+    }
+
+    /// How many states to steal from a victim queue of the given length.
+    #[inline]
+    pub fn steal_batch(self, victim_len: usize) -> usize {
+        match self {
+            BatchPolicy::Adaptive => (victim_len / 2).clamp(1, STEAL_BATCH_CAP),
+            BatchPolicy::Fixed { steal, .. } => steal.max(1),
+        }
+    }
+}
+
 /// Map `f` over `items`, fanning the calls across `parallelism.threads`
 /// scoped workers. The output is positionally identical to
 /// `items.iter().map(f).collect()` regardless of thread count or

@@ -19,6 +19,18 @@
 //! limit or token bound) falls back to the sequential engine so truncation
 //! semantics stay exact.
 //!
+//! [`ReachLimits::reduction`] turns on sound state-space reduction (see
+//! [`crate::reduce`]): thread-lane symmetry quotienting canonicalizes every
+//! marking before dedup, and ample-set partial-order reduction expands only
+//! a stubborn subset of the enabled transitions per state. Both preserve
+//! the reachable dead markings (up to symmetry canonicalization) — the
+//! verdicts the Table-1 classification needs — while exploring a fraction
+//! of the raw graph. Reduction applies identically in the sequential and
+//! parallel engines, so the canonical-renumbering byte-determinism
+//! guarantee holds for the *reduced* graph at any thread count.
+//! [`ReachGraph::explore_filtered`] forces reduction off: side-condition
+//! filters carry dependencies the static independence relation cannot see.
+//!
 //! When `jcc-obs` recording is enabled, the engines publish `petri.reach.*`
 //! metrics (states, edges, deadlocks, dedup hits, frontier high-water,
 //! steals, queue batches, interned/packed state counts, truncations) and
@@ -35,13 +47,9 @@ use std::sync::Mutex;
 use fxhash::{FxHashMap, FxHashSet};
 
 use crate::net::{Marking, Net, TransId};
-use crate::parallel::Parallelism;
+use crate::parallel::{BatchPolicy, Parallelism};
+use crate::reduce::{LaneCanon, Reduction, StubbornSets, SymmetrySpec};
 use crate::state::{PackedMarking, PackedNet, StateId, StateStore};
-
-/// How many frontier items a worker pops from its own queue per lock grab.
-const OWN_BATCH: usize = 8;
-/// How many frontier items a worker steals from a victim per lock grab.
-const STEAL_BATCH: usize = 4;
 
 /// Limits on state-space exploration.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +63,13 @@ pub struct ReachLimits {
     /// sequential engine; more threads run the work-stealing engine whose
     /// output is canonically renumbered to match the sequential graph.
     pub parallelism: Parallelism,
+    /// State-space reduction knobs (symmetry quotient + ample sets).
+    /// Off by default; ignored by [`ReachGraph::explore_filtered`] and
+    /// [`ReachGraph::explore_boxed`], which stay exhaustive ground truth.
+    pub reduction: Reduction,
+    /// Frontier batch sizing for the parallel engine. Only affects
+    /// scheduling, never the (canonically renumbered) result graph.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ReachLimits {
@@ -63,8 +78,54 @@ impl Default for ReachLimits {
             max_states: 1_000_000,
             max_tokens_per_place: 64,
             parallelism: Parallelism::default(),
+            reduction: Reduction::NONE,
+            batch: BatchPolicy::Adaptive,
         }
     }
+}
+
+/// A [`Reduction`] request resolved against a concrete net: the symmetry
+/// spec is dropped unless it verifies as a net automorphism, and the
+/// stubborn-set precomputation is built once per exploration.
+struct ActiveReduction {
+    symmetry: Option<SymmetrySpec>,
+    stubborn: Option<StubbornSets>,
+}
+
+impl ActiveReduction {
+    fn none() -> ActiveReduction {
+        ActiveReduction {
+            symmetry: None,
+            stubborn: None,
+        }
+    }
+
+    fn resolve(net: &Net, r: Reduction) -> ActiveReduction {
+        let symmetry = r.symmetry.filter(|s| s.lanes > 1 && s.is_automorphism(net));
+        if r.symmetry.is_some() && symmetry.is_none() {
+            jcc_obs::event!("petri.reach.symmetry_rejected"; "reason" => "spec is not a net automorphism");
+        }
+        ActiveReduction {
+            symmetry,
+            stubborn: if r.ample {
+                Some(StubbornSets::new(net))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Per-exploration tallies the sequential engines accumulate in locals and
+/// flush once, keeping the hot loop free of registry traffic.
+#[derive(Default)]
+struct SeqTallies {
+    dedup_hits: u64,
+    frontier_peak: usize,
+    ample_pruned: u64,
+    symmetry_hits: u64,
+    ample_active: bool,
+    symmetry_active: bool,
 }
 
 /// Why exploration stopped before exhausting the state space.
@@ -107,13 +168,23 @@ pub struct ReachGraph {
 
 impl ReachGraph {
     /// Explore the full state space of `net` from its initial marking.
+    ///
+    /// Honors [`ReachLimits::reduction`]: with symmetry and/or ample sets
+    /// on, the explored graph is a sound quotient that preserves the
+    /// reachable dead markings (up to lane canonicalization) but not edge
+    /// or state counts.
     pub fn explore(net: &Net, limits: ReachLimits) -> ReachGraph {
-        Self::explore_filtered(net, limits, |_, _| true)
+        let red = ActiveReduction::resolve(net, limits.reduction);
+        Self::explore_with(net, limits, &|_, _| true, red)
     }
 
     /// Explore, but only follow firings for which `filter` returns true.
     /// Used to impose side conditions the plain net cannot express (e.g. the
     /// dashed notification arc of Figure 1).
+    ///
+    /// Side-condition filters encode dependencies the static independence
+    /// relation cannot see, so [`ReachLimits::reduction`] is forced off
+    /// here: filtered exploration is always exhaustive.
     ///
     /// With `limits.parallelism.threads > 1` the state space is discovered
     /// by parallel workers and canonically renumbered; the returned graph
@@ -124,14 +195,25 @@ impl ReachGraph {
         limits: ReachLimits,
         filter: impl Fn(&Marking, TransId) -> bool + Sync,
     ) -> ReachGraph {
+        Self::explore_with(net, limits, &filter, ActiveReduction::none())
+    }
+
+    /// Shared dispatch behind [`ReachGraph::explore`] and
+    /// [`ReachGraph::explore_filtered`].
+    fn explore_with(
+        net: &Net,
+        limits: ReachLimits,
+        filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+        mut red: ActiveReduction,
+    ) -> ReachGraph {
         if limits.parallelism.is_sequential() {
-            return Self::explore_sequential(net, limits, &filter);
+            return Self::explore_sequential(net, limits, filter, &mut red);
         }
-        match Self::explore_parallel(net, limits, &filter) {
+        match Self::explore_parallel(net, limits, filter, &red) {
             Some(graph) => graph,
             // Truncated: replay sequentially so the partial graph is the
             // exact prefix the sequential engine reports.
-            None => Self::explore_sequential(net, limits, &filter),
+            None => Self::explore_sequential(net, limits, filter, &mut red),
         }
     }
 
@@ -221,11 +303,12 @@ impl ReachGraph {
         net: &Net,
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+        red: &mut ActiveReduction,
     ) -> ReachGraph {
         let _span = jcc_obs::span!("petri.reach.sequential");
         match PackedNet::try_new(net, &limits) {
-            Some(pn) => Self::sequential_packed(net, &pn, limits, filter),
-            None => Self::sequential_wide(net, limits, filter),
+            Some(pn) => Self::sequential_packed(net, &pn, limits, filter, red),
+            None => Self::sequential_wide(net, limits, filter, red),
         }
     }
 
@@ -237,17 +320,26 @@ impl ReachGraph {
         pn: &PackedNet,
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+        red: &mut ActiveReduction,
     ) -> ReachGraph {
         let bound = limits.max_tokens_per_place;
         let places = net.num_places();
-        let mut dedup_hits: u64 = 0;
-        let mut frontier_peak: usize = 0;
+        let sym = red.symmetry;
+        let mut tallies = SeqTallies {
+            ample_active: red.stubborn.is_some(),
+            symmetry_active: sym.is_some(),
+            ..SeqTallies::default()
+        };
+        let mut ample_buf: Vec<TransId> = Vec::new();
         let mut states: Vec<PackedMarking> = Vec::new();
         let mut seen: FxHashMap<u64, u32> = FxHashMap::default();
         let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
         let mut truncated = None;
 
-        let m0 = pn.initial();
+        let mut m0 = pn.initial();
+        if let Some(s) = sym {
+            m0 = s.canonicalize_packed(m0);
+        }
         let mut max_tokens_seen = (0..places).map(|i| m0.tokens(i)).max().unwrap_or(0);
         seen.insert(m0.0, 0);
         states.push(m0);
@@ -260,53 +352,69 @@ impl ReachGraph {
         // States `cur..states.len()` *are* the BFS queue: ids are assigned
         // in discovery order, so the arena doubles as the frontier.
         'outer: while cur < states.len() {
-            frontier_peak = frontier_peak.max(states.len() - cur);
+            tallies.frontier_peak = tallies.frontier_peak.max(states.len() - cur);
             let m = states[cur];
             m.unpack_into(&mut scratch.0);
-            for t in net.transitions() {
-                if !pn.enabled(m, t) || !filter(&scratch, t) {
-                    continue;
-                }
-                let next = match pn.fire(m, t, bound, &mut max_tokens_seen) {
-                    Ok(next) => next,
-                    Err(place_index) => {
-                        truncated = Some(Truncation::TokenBound { place_index });
-                        break 'outer;
-                    }
-                };
-                let next_id = match seen.get(&next.0) {
-                    Some(&id) => {
-                        dedup_hits += 1;
-                        id as usize
-                    }
-                    None => {
-                        if states.len() >= limits.max_states {
-                            truncated = Some(Truncation::StateLimit);
+            // One successor: fire, canonicalize, dedup, record the edge.
+            macro_rules! visit {
+                ($t:expr) => {{
+                    let t = $t;
+                    let next = match pn.fire(m, t, bound, &mut max_tokens_seen) {
+                        Ok(next) => next,
+                        Err(place_index) => {
+                            truncated = Some(Truncation::TokenBound { place_index });
                             break 'outer;
                         }
-                        let id = states.len();
-                        seen.insert(next.0, id as u32);
-                        states.push(next);
-                        edges.push(Vec::new());
-                        id
+                    };
+                    let next = match sym {
+                        Some(s) => {
+                            let canon = s.canonicalize_packed(next);
+                            if canon.0 != next.0 {
+                                tallies.symmetry_hits += 1;
+                            }
+                            canon
+                        }
+                        None => next,
+                    };
+                    let next_id = match seen.get(&next.0) {
+                        Some(&id) => {
+                            tallies.dedup_hits += 1;
+                            id as usize
+                        }
+                        None => {
+                            if states.len() >= limits.max_states {
+                                truncated = Some(Truncation::StateLimit);
+                                break 'outer;
+                            }
+                            let id = states.len();
+                            seen.insert(next.0, id as u32);
+                            states.push(next);
+                            edges.push(Vec::new());
+                            id
+                        }
+                    };
+                    edges[cur].push((t, next_id));
+                }};
+            }
+            if let Some(st) = red.stubborn.as_mut() {
+                let n_enabled = st.ample_into(&scratch.0, &mut ample_buf);
+                tallies.ample_pruned += (n_enabled - ample_buf.len()) as u64;
+                for &t in &ample_buf {
+                    visit!(t);
+                }
+            } else {
+                for t in net.transitions() {
+                    if !pn.enabled(m, t) || !filter(&scratch, t) {
+                        continue;
                     }
-                };
-                edges[cur].push((t, next_id));
+                    visit!(t);
+                }
             }
             cur += 1;
         }
 
         let markings: Vec<Marking> = states.iter().map(|s| s.unpack(places)).collect();
-        Self::finish_sequential(
-            net,
-            markings,
-            edges,
-            max_tokens_seen,
-            truncated,
-            dedup_hits,
-            frontier_peak,
-            true,
-        )
+        Self::finish_sequential(net, markings, edges, max_tokens_seen, truncated, tallies, true)
     }
 
     /// BFS for nets too wide to pack: markings are interned once into a
@@ -316,15 +424,24 @@ impl ReachGraph {
         net: &Net,
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+        red: &mut ActiveReduction,
     ) -> ReachGraph {
         let places = net.num_places();
-        let mut dedup_hits: u64 = 0;
-        let mut frontier_peak: usize = 0;
+        let mut tallies = SeqTallies {
+            ample_active: red.stubborn.is_some(),
+            symmetry_active: red.symmetry.is_some(),
+            ..SeqTallies::default()
+        };
+        let mut canon = red.symmetry.map(LaneCanon::new);
+        let mut ample_buf: Vec<TransId> = Vec::new();
         let mut store = StateStore::new(places);
         let mut edges: Vec<Vec<(TransId, usize)>> = Vec::new();
         let mut truncated = None;
 
-        let m0 = net.initial_marking();
+        let mut m0 = net.initial_marking();
+        if let Some(c) = canon.as_mut() {
+            c.canonicalize(&mut m0.0);
+        }
         let mut max_tokens_seen = m0.0.iter().copied().max().unwrap_or(0);
         let (id0, _) = store.intern(&m0.0);
         debug_assert_eq!(id0, StateId(0));
@@ -337,76 +454,85 @@ impl ReachGraph {
         let mut succ = m0;
         let mut cur = 0usize;
         'outer: while cur < store.len() {
-            frontier_peak = frontier_peak.max(store.len() - cur);
+            tallies.frontier_peak = tallies.frontier_peak.max(store.len() - cur);
             scratch.0.copy_from_slice(store.tokens(StateId(cur as u32)));
-            for t in net.transitions() {
-                if !net.enabled(&scratch, t) || !filter(&scratch, t) {
-                    continue;
-                }
-                // Fire in place (arc weights are pre-aggregated by the
-                // builder, so per-place subtract/add matches `Net::fire`).
-                succ.0.copy_from_slice(&scratch.0);
-                for &(p, w) in net.inputs(t) {
-                    succ.0[p.index()] -= w;
-                }
-                for &(p, w) in net.outputs(t) {
-                    succ.0[p.index()] += w;
-                }
-                let peak = succ.0.iter().copied().max().unwrap_or(0);
-                if peak > limits.max_tokens_per_place {
-                    let place_index = succ
-                        .0
-                        .iter()
-                        .position(|&x| x > limits.max_tokens_per_place)
-                        .unwrap_or(0);
-                    truncated = Some(Truncation::TokenBound { place_index });
-                    break 'outer;
-                }
-                max_tokens_seen = max_tokens_seen.max(peak);
-                let next_id = match store.get(&succ.0) {
-                    Some(id) => {
-                        dedup_hits += 1;
-                        id.index()
+            // One successor: fire in place (arc weights are pre-aggregated
+            // by the builder, so per-place subtract/add matches
+            // `Net::fire`), canonicalize, dedup, record the edge.
+            macro_rules! visit {
+                ($t:expr) => {{
+                    let t = $t;
+                    succ.0.copy_from_slice(&scratch.0);
+                    for &(p, w) in net.inputs(t) {
+                        succ.0[p.index()] -= w;
                     }
-                    None => {
-                        if store.len() >= limits.max_states {
-                            truncated = Some(Truncation::StateLimit);
-                            break 'outer;
+                    for &(p, w) in net.outputs(t) {
+                        succ.0[p.index()] += w;
+                    }
+                    let peak = succ.0.iter().copied().max().unwrap_or(0);
+                    if peak > limits.max_tokens_per_place {
+                        let place_index = succ
+                            .0
+                            .iter()
+                            .position(|&x| x > limits.max_tokens_per_place)
+                            .unwrap_or(0);
+                        truncated = Some(Truncation::TokenBound { place_index });
+                        break 'outer;
+                    }
+                    max_tokens_seen = max_tokens_seen.max(peak);
+                    if let Some(c) = canon.as_mut() {
+                        if c.canonicalize(&mut succ.0) {
+                            tallies.symmetry_hits += 1;
                         }
-                        let (id, _) = store.intern(&succ.0);
-                        edges.push(Vec::new());
-                        id.index()
                     }
-                };
-                edges[cur].push((t, next_id));
+                    let next_id = match store.get(&succ.0) {
+                        Some(id) => {
+                            tallies.dedup_hits += 1;
+                            id.index()
+                        }
+                        None => {
+                            if store.len() >= limits.max_states {
+                                truncated = Some(Truncation::StateLimit);
+                                break 'outer;
+                            }
+                            let (id, _) = store.intern(&succ.0);
+                            edges.push(Vec::new());
+                            id.index()
+                        }
+                    };
+                    edges[cur].push((t, next_id));
+                }};
+            }
+            if let Some(st) = red.stubborn.as_mut() {
+                let n_enabled = st.ample_into(&scratch.0, &mut ample_buf);
+                tallies.ample_pruned += (n_enabled - ample_buf.len()) as u64;
+                for &t in &ample_buf {
+                    visit!(t);
+                }
+            } else {
+                for t in net.transitions() {
+                    if !net.enabled(&scratch, t) || !filter(&scratch, t) {
+                        continue;
+                    }
+                    visit!(t);
+                }
             }
             cur += 1;
         }
 
         let markings = store.to_markings();
-        Self::finish_sequential(
-            net,
-            markings,
-            edges,
-            max_tokens_seen,
-            truncated,
-            dedup_hits,
-            frontier_peak,
-            false,
-        )
+        Self::finish_sequential(net, markings, edges, max_tokens_seen, truncated, tallies, false)
     }
 
     /// Shared tail of the sequential engines: stats, obs flush, index
     /// build. `packed` notes which representation carried the exploration.
-    #[allow(clippy::too_many_arguments)]
     fn finish_sequential(
         net: &Net,
         markings: Vec<Marking>,
         edges: Vec<Vec<(TransId, usize)>>,
         max_tokens_seen: u32,
         truncated: Option<Truncation>,
-        dedup_hits: u64,
-        frontier_peak: usize,
+        tallies: SeqTallies,
         packed: bool,
     ) -> ReachGraph {
         let deadlocks = markings.iter().filter(|m| net.is_deadlocked(m)).count();
@@ -420,9 +546,17 @@ impl ReachGraph {
         };
         if jcc_obs::enabled() {
             let reg = jcc_obs::global();
-            reg.counter("petri.reach.dedup_hits").add(dedup_hits);
+            reg.counter("petri.reach.dedup_hits").add(tallies.dedup_hits);
             reg.gauge("petri.reach.frontier_peak")
-                .set_max(frontier_peak as u64);
+                .set_max(tallies.frontier_peak as u64);
+            if tallies.ample_active {
+                reg.counter("petri.reach.ample_pruned")
+                    .add(tallies.ample_pruned);
+            }
+            if tallies.symmetry_active {
+                reg.counter("petri.reach.symmetry_hits")
+                    .add(tallies.symmetry_hits);
+            }
             Self::flush_representation(&stats, packed);
             Self::flush_stats(&stats);
         }
@@ -471,31 +605,78 @@ impl ReachGraph {
         net: &Net,
         limits: ReachLimits,
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
+        red: &ActiveReduction,
     ) -> Option<ReachGraph> {
         let _span = jcc_obs::span!("petri.reach.parallel");
-        match PackedNet::try_new(net, &limits) {
+        // Reduction tallies, accumulated Relaxed: each is a sum of
+        // per-state quantities over the deterministic explored set, so the
+        // totals are deterministic despite racing workers.
+        let ample_pruned = AtomicUsize::new(0);
+        let symmetry_hits = AtomicUsize::new(0);
+        let sym = red.symmetry;
+        let graph = match PackedNet::try_new(net, &limits) {
             Some(pn) => {
                 let places = net.num_places();
                 let bound = limits.max_tokens_per_place;
                 let pn = &pn;
+                let stub = &red.stubborn;
+                let ample_pruned = &ample_pruned;
+                let symmetry_hits = &symmetry_hits;
+                let mut m0 = pn.initial();
+                if let Some(s) = sym {
+                    m0 = s.canonicalize_packed(m0);
+                }
+                type PackedCtx = (Marking, Option<StubbornSets>, Vec<TransId>);
                 Self::parallel_generic(
                     net,
                     limits,
-                    pn.initial(),
-                    // Per-worker scratch marking for the filter callback.
-                    &|| net.initial_marking(),
-                    &move |scratch: &mut Marking,
+                    m0,
+                    // Per-worker scratch: a marking for the filter/ample
+                    // callbacks, a private stubborn-set engine, a buffer
+                    // for the ample transitions.
+                    &|| (net.initial_marking(), stub.clone(), Vec::new()),
+                    &move |ctx: &mut PackedCtx,
                            m: &PackedMarking,
                            succs: &mut Vec<(TransId, PackedMarking)>| {
+                        let (scratch, stubborn, ample_buf) = ctx;
                         m.unpack_into(&mut scratch.0);
-                        for t in net.transitions() {
-                            if !pn.enabled(*m, t) || !filter(scratch, t) {
-                                continue;
-                            }
+                        let fire = |t: TransId, succs: &mut Vec<(TransId, PackedMarking)>| {
                             let mut sink = 0u32;
                             match pn.fire(*m, t, bound, &mut sink) {
-                                Ok(next) => succs.push((t, next)),
-                                Err(_) => return true,
+                                Ok(next) => {
+                                    let next = match sym {
+                                        Some(s) => {
+                                            let canon = s.canonicalize_packed(next);
+                                            if canon.0 != next.0 {
+                                                symmetry_hits.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                            canon
+                                        }
+                                        None => next,
+                                    };
+                                    succs.push((t, next));
+                                    false
+                                }
+                                Err(_) => true,
+                            }
+                        };
+                        if let Some(st) = stubborn.as_mut() {
+                            let n_enabled = st.ample_into(&scratch.0, ample_buf);
+                            ample_pruned
+                                .fetch_add(n_enabled - ample_buf.len(), Ordering::Relaxed);
+                            for &t in ample_buf.iter() {
+                                if fire(t, succs) {
+                                    return true;
+                                }
+                            }
+                        } else {
+                            for t in net.transitions() {
+                                if !pn.enabled(*m, t) || !filter(scratch, t) {
+                                    continue;
+                                }
+                                if fire(t, succs) {
+                                    return true;
+                                }
                             }
                         }
                         false
@@ -506,21 +687,52 @@ impl ReachGraph {
             }
             None => {
                 let bound = limits.max_tokens_per_place;
+                let stub = &red.stubborn;
+                let ample_pruned = &ample_pruned;
+                let symmetry_hits = &symmetry_hits;
+                let mut m0 = net.initial_marking();
+                if let Some(s) = sym {
+                    m0 = s.canonicalize_marking(&m0);
+                }
+                type WideCtx = (Option<StubbornSets>, Option<LaneCanon>, Vec<TransId>);
                 Self::parallel_generic(
                     net,
                     limits,
-                    net.initial_marking(),
-                    &|| (),
-                    &move |_: &mut (), m: &Marking, succs: &mut Vec<(TransId, Marking)>| {
-                        for t in net.transitions() {
-                            if !net.enabled(m, t) || !filter(m, t) {
-                                continue;
-                            }
-                            let next = net.fire(m, t).expect("enabled");
+                    m0,
+                    &|| (stub.clone(), sym.map(LaneCanon::new), Vec::new()),
+                    &move |ctx: &mut WideCtx, m: &Marking, succs: &mut Vec<(TransId, Marking)>| {
+                        let (stubborn, canon, ample_buf) = ctx;
+                        let mut fire = |t: TransId, succs: &mut Vec<(TransId, Marking)>| {
+                            let mut next = net.fire(m, t).expect("enabled");
                             if next.0.iter().copied().max().unwrap_or(0) > bound {
                                 return true;
                             }
+                            if let Some(c) = canon.as_mut() {
+                                if c.canonicalize(&mut next.0) {
+                                    symmetry_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                             succs.push((t, next));
+                            false
+                        };
+                        if let Some(st) = stubborn.as_mut() {
+                            let n_enabled = st.ample_into(&m.0, ample_buf);
+                            ample_pruned
+                                .fetch_add(n_enabled - ample_buf.len(), Ordering::Relaxed);
+                            for &t in ample_buf.iter() {
+                                if fire(t, succs) {
+                                    return true;
+                                }
+                            }
+                        } else {
+                            for t in net.transitions() {
+                                if !net.enabled(m, t) || !filter(m, t) {
+                                    continue;
+                                }
+                                if fire(t, succs) {
+                                    return true;
+                                }
+                            }
                         }
                         false
                     },
@@ -528,7 +740,22 @@ impl ReachGraph {
                     false,
                 )
             }
+        };
+        // Flush only for completed runs: every state is expanded exactly
+        // once, so these totals are deterministic. Aborted runs replay
+        // sequentially and flush their own (exact) tallies instead.
+        if graph.is_some() && jcc_obs::enabled() {
+            let reg = jcc_obs::global();
+            if red.stubborn.is_some() {
+                reg.counter("petri.reach.ample_pruned")
+                    .add(ample_pruned.load(Ordering::Relaxed) as u64);
+            }
+            if sym.is_some() {
+                reg.counter("petri.reach.symmetry_hits")
+                    .add(symmetry_hits.load(Ordering::Relaxed) as u64);
+            }
         }
+        graph
     }
 
     /// Parallel discovery, generic over the state representation `S`
@@ -606,9 +833,13 @@ impl ReachGraph {
                             // Refill in one lock grab: own queue first
                             // (front, preserving rough BFS order), then
                             // steal a smaller slice from a victim's back.
+                            // Batch sizes come from the configured policy;
+                            // the adaptive default leaves half the visible
+                            // queue behind so other workers can steal it.
                             {
                                 let mut q = queues[w].lock().expect("queue lock");
-                                for _ in 0..OWN_BATCH {
+                                let take = limits.batch.own_batch(q.len());
+                                for _ in 0..take {
                                     match q.pop_front() {
                                         Some(s) => batch.push_back(s),
                                         None => break,
@@ -619,7 +850,8 @@ impl ReachGraph {
                                 for v in 1..threads {
                                     let victim = (w + v) % threads;
                                     let mut q = queues[victim].lock().expect("queue lock");
-                                    for _ in 0..STEAL_BATCH {
+                                    let take = limits.batch.steal_batch(q.len());
+                                    for _ in 0..take {
                                         match q.pop_back() {
                                             Some(s) => batch.push_back(s),
                                             None => break,
@@ -1107,6 +1339,7 @@ mod tests {
             max_states: 1000,
             max_tokens_per_place: 16,
             parallelism: Parallelism::with_threads(threads),
+            ..ReachLimits::default()
         };
         let seq = ReachGraph::explore(&net, limits(1));
         let par = ReachGraph::explore(&net, limits(4));
@@ -1122,6 +1355,7 @@ mod tests {
             max_states: 5,
             max_tokens_per_place: 64,
             parallelism: Parallelism::with_threads(threads),
+            ..ReachLimits::default()
         };
         let seq = ReachGraph::explore(j.net(), limits(1));
         let par = ReachGraph::explore(j.net(), limits(2));
@@ -1203,6 +1437,7 @@ mod tests {
                         max_states,
                         max_tokens_per_place: bound,
                         parallelism: Parallelism::sequential(),
+                        ..ReachLimits::default()
                     };
                     (b.build().unwrap(), limits)
                 })
@@ -1247,6 +1482,272 @@ mod tests {
             for i in 0..par.markings().len() {
                 prop_assert_eq!(par.successors(i), boxed.successors(i));
             }
+        }
+
+        /// Ample-set reduction preserves the set of reachable dead
+        /// markings *exactly* on random nets (both packed and wide
+        /// regimes), for every non-truncating exploration.
+        #[test]
+        fn ample_reduction_preserves_dead_markings(
+            (net, limits) in arb_net_and_limits(),
+        ) {
+            let full = ReachGraph::explore_boxed(&net, limits, |_, _| true);
+            let reduced = ReachGraph::explore(
+                &net,
+                ReachLimits {
+                    reduction: Reduction { ample: true, symmetry: None },
+                    ..limits
+                },
+            );
+            // Reduction changes which states get visited, so truncation
+            // points differ; the dead-set guarantee is for complete runs.
+            if full.stats().truncated.is_none() && reduced.stats().truncated.is_none() {
+                prop_assert!(reduced.stats().states <= full.stats().states);
+                prop_assert_eq!(
+                    dead_marking_set(&reduced, &net, None),
+                    dead_marking_set(&full, &net, None)
+                );
+                prop_assert_eq!(reduced.stats().deadlocks, full.stats().deadlocks);
+            }
+        }
+    }
+
+    /// The deadlocked markings of a graph as a sorted, deduplicated set,
+    /// optionally canonicalized under a symmetry spec (so full-graph dead
+    /// states can be compared orbit-wise against a quotient graph).
+    fn dead_marking_set(
+        g: &ReachGraph,
+        net: &Net,
+        spec: Option<crate::reduce::SymmetrySpec>,
+    ) -> Vec<Marking> {
+        let mut dead: Vec<Marking> = g
+            .markings()
+            .iter()
+            .filter(|m| net.is_deadlocked(m))
+            .map(|m| match spec {
+                Some(s) => s.canonicalize_marking(m),
+                None => m.clone(),
+            })
+            .collect();
+        dead.sort();
+        dead.dedup();
+        dead
+    }
+
+    #[test]
+    fn symmetry_quotient_explores_exactly_the_canonical_orbits() {
+        // With symmetry only (no ample), the quotient graph's state set
+        // must equal the canonicalized image of the full state set.
+        for n in 2..=4 {
+            let j = JavaNet::new(n);
+            let spec = j.thread_symmetry();
+            let full = ReachGraph::explore(
+                j.net(),
+                ReachLimits {
+                    parallelism: Parallelism::sequential(),
+                    ..ReachLimits::default()
+                },
+            );
+            let quotient = ReachGraph::explore(
+                j.net(),
+                ReachLimits {
+                    parallelism: Parallelism::sequential(),
+                    reduction: Reduction {
+                        ample: false,
+                        symmetry: Some(spec),
+                    },
+                    ..ReachLimits::default()
+                },
+            );
+            let mut orbit_reps: Vec<Marking> = full
+                .markings()
+                .iter()
+                .map(|m| spec.canonicalize_marking(m))
+                .collect();
+            orbit_reps.sort();
+            orbit_reps.dedup();
+            let mut quotient_states: Vec<Marking> = quotient.markings().to_vec();
+            quotient_states.sort();
+            assert_eq!(quotient_states, orbit_reps, "n={n}");
+            assert!(quotient.stats().states < full.stats().states, "n={n}");
+            assert_eq!(
+                dead_marking_set(&quotient, j.net(), None),
+                dead_marking_set(&full, j.net(), Some(spec)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_engine_symmetry_quotient_matches_full_orbits() {
+        // A 5-place net (packed regime): shared token s, two symmetric
+        // lanes [a_i, b_i] with t_i: a_i+s -> b_i and u_i: b_i -> a_i+s.
+        let mut b = NetBuilder::new();
+        let s = b.place("s", 1);
+        let a0 = b.place("a0", 1);
+        let b0 = b.place("b0", 0);
+        let a1 = b.place("a1", 1);
+        let b1 = b.place("b1", 0);
+        b.transition("t0", &[a0, s], &[b0]);
+        b.transition("u0", &[b0], &[a0, s]);
+        b.transition("t1", &[a1, s], &[b1]);
+        b.transition("u1", &[b1], &[a1, s]);
+        let net = b.build().unwrap();
+        let spec = crate::reduce::SymmetrySpec {
+            first_place: 1,
+            lanes: 2,
+            lane_width: 2,
+        };
+        assert!(spec.is_automorphism(&net));
+        let full = ReachGraph::explore(&net, ReachLimits::default());
+        let quotient = ReachGraph::explore(
+            &net,
+            ReachLimits {
+                parallelism: Parallelism::sequential(),
+                reduction: Reduction {
+                    ample: false,
+                    symmetry: Some(spec),
+                },
+                ..ReachLimits::default()
+            },
+        );
+        let mut orbit_reps: Vec<Marking> = full
+            .markings()
+            .iter()
+            .map(|m| spec.canonicalize_marking(m))
+            .collect();
+        orbit_reps.sort();
+        orbit_reps.dedup();
+        let mut quotient_states: Vec<Marking> = quotient.markings().to_vec();
+        quotient_states.sort();
+        assert_eq!(quotient_states, orbit_reps);
+        assert!(quotient.stats().states < full.stats().states);
+        // And the packed parallel engine agrees byte-for-byte.
+        let par = ReachGraph::explore(
+            &net,
+            ReachLimits {
+                parallelism: Parallelism::with_threads(4),
+                reduction: Reduction {
+                    ample: false,
+                    symmetry: Some(spec),
+                },
+                ..ReachLimits::default()
+            },
+        );
+        assert_graphs_identical(&quotient, &par);
+    }
+
+    #[test]
+    fn full_reduction_is_byte_deterministic_across_thread_counts() {
+        // The reduced graph itself obeys the canonical-renumbering
+        // guarantee: parallelism 1/2/4 produce identical graphs, and the
+        // deadlock verdict matches the exhaustive reference orbit-wise.
+        for n in [2usize, 4, 6] {
+            let j = JavaNet::new(n);
+            let spec = j.thread_symmetry();
+            let reduction = Reduction::full(Some(spec));
+            let graphs: Vec<ReachGraph> = [1usize, 2, 4]
+                .iter()
+                .map(|&threads| {
+                    ReachGraph::explore(
+                        j.net(),
+                        ReachLimits {
+                            parallelism: Parallelism::with_threads(threads),
+                            reduction,
+                            ..ReachLimits::default()
+                        },
+                    )
+                })
+                .collect();
+            assert_graphs_identical(&graphs[0], &graphs[1]);
+            assert_graphs_identical(&graphs[0], &graphs[2]);
+            let full =
+                ReachGraph::explore_boxed(j.net(), ReachLimits::default(), |_, _| true);
+            assert_eq!(
+                dead_marking_set(&graphs[0], j.net(), Some(spec)),
+                dead_marking_set(&full, j.net(), Some(spec)),
+                "n={n}"
+            );
+            assert!(graphs[0].stats().states < full.stats().states, "n={n}");
+        }
+    }
+
+    #[test]
+    fn filtered_exploration_forces_reduction_off() {
+        // Side-condition filters and reduction cannot soundly mix; asking
+        // for both must yield the exhaustive filtered graph.
+        let j = JavaNet::new(2);
+        let with_reduction = ReachGraph::explore_filtered(
+            j.net(),
+            ReachLimits {
+                reduction: Reduction::full(Some(j.thread_symmetry())),
+                ..ReachLimits::default()
+            },
+            j.notify_side_condition(),
+        );
+        let without = ReachGraph::explore_filtered(
+            j.net(),
+            ReachLimits::default(),
+            j.notify_side_condition(),
+        );
+        assert_graphs_identical(&with_reduction, &without);
+    }
+
+    #[test]
+    fn invalid_symmetry_spec_is_ignored_not_trusted() {
+        // A spec that is not an automorphism (lanes of different structure)
+        // must leave the exploration exhaustive rather than merge
+        // non-equivalent states.
+        let mut b = NetBuilder::new();
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let q = b.place("q", 0);
+        b.transition("t", &[p0], &[p1]);
+        b.transition("u", &[p1], &[q]);
+        let net = b.build().unwrap();
+        let bogus = crate::reduce::SymmetrySpec {
+            first_place: 0,
+            lanes: 3,
+            lane_width: 1,
+        };
+        let reduced = ReachGraph::explore(
+            &net,
+            ReachLimits {
+                reduction: Reduction {
+                    ample: false,
+                    symmetry: Some(bogus),
+                },
+                ..ReachLimits::default()
+            },
+        );
+        let full = ReachGraph::explore(&net, ReachLimits::default());
+        assert_graphs_identical(&reduced, &full);
+    }
+
+    #[test]
+    fn batch_policies_produce_identical_parallel_graphs() {
+        let j = JavaNet::new(4);
+        let base = ReachGraph::explore(
+            j.net(),
+            ReachLimits {
+                parallelism: Parallelism::sequential(),
+                ..ReachLimits::default()
+            },
+        );
+        for batch in [
+            crate::parallel::BatchPolicy::Adaptive,
+            crate::parallel::BatchPolicy::FIXED_LEGACY,
+            crate::parallel::BatchPolicy::Fixed { own: 1, steal: 1 },
+        ] {
+            let par = ReachGraph::explore(
+                j.net(),
+                ReachLimits {
+                    parallelism: Parallelism::with_threads(4),
+                    batch,
+                    ..ReachLimits::default()
+                },
+            );
+            assert_graphs_identical(&base, &par);
         }
     }
 }

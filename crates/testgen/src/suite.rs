@@ -319,6 +319,7 @@ impl Default for GreedyConfig {
                 // Candidate evaluation stays on the caller's thread; the
                 // mutation study parallelises across cells instead.
                 parallelism: Parallelism::sequential(),
+                ..ExploreConfig::default()
             },
             extra_goals: true,
         }

@@ -85,6 +85,38 @@ pub enum Instr {
     Ret,
 }
 
+/// True when `e` is a literal the evaluator cannot fail on and that reads
+/// no shared fields.
+fn is_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Int(_) | Expr::Bool(_) | Expr::Str(_))
+}
+
+impl Instr {
+    /// True when executing this instruction touches only the running
+    /// thread's own frame — no lock, wait set, or shared field is read or
+    /// written, and the instruction cannot fault. Such a step commutes
+    /// with every step of every other thread, which is what the
+    /// explorer's ample-set reduction relies on: expanding only this step
+    /// from a state cannot hide a deadlock, fault or livelock that some
+    /// interleaving would otherwise reach.
+    pub fn is_thread_local(&self) -> bool {
+        match self {
+            Instr::Jump { .. } | Instr::Ret | Instr::EvalRet { value: None } => true,
+            Instr::EvalRet { value: Some(e) } | Instr::StoreLocal { value: e, .. } => {
+                is_literal(e)
+            }
+            // Only a literal-`bool` condition: any other expression may
+            // read fields or fault on a type error, both of which are
+            // visible to other threads or to the verdict.
+            Instr::JumpIfFalse {
+                cond: Expr::Bool(_),
+                ..
+            } => true,
+            _ => false,
+        }
+    }
+}
+
 /// A compiled method.
 #[derive(Debug, Clone)]
 pub struct CompiledMethod {

@@ -38,6 +38,23 @@ pub struct ExploreConfig {
     /// which path reaches a shared state first), so it always runs on one
     /// thread; extra threads run seeded-random failure probes alongside it.
     pub parallelism: Parallelism,
+    /// Quotient the state space by thread symmetry: states that differ
+    /// only by a permutation of threads with identical `ThreadSpec`s
+    /// (via [`Vm::symmetry_groups`]) are deduplicated through
+    /// [`Vm::state_key_symmetric`]. Sound for the failure-class verdicts
+    /// (permuting interchangeable threads is an automorphism), but path
+    /// and state *counts* shrink, so leave it off when the exact census
+    /// matters. Default off.
+    pub symmetry: bool,
+    /// Ample-set partial-order reduction: from a state where some
+    /// runnable thread's next step is thread-local (commutes with every
+    /// other thread's steps — see [`Vm::is_local_step`]), expand only that
+    /// step instead of all runnable threads, unless doing so would close a
+    /// cycle on the current path (the cycle proviso forces a full
+    /// expansion there, so livelocks are never postponed forever).
+    /// Preserves which failure classes exist, not path counts. Default
+    /// off.
+    pub ample: bool,
 }
 
 impl Default for ExploreConfig {
@@ -46,6 +63,8 @@ impl Default for ExploreConfig {
             max_states: 200_000,
             max_depth: 2_000,
             parallelism: Parallelism::default(),
+            symmetry: false,
+            ample: false,
         }
     }
 }
@@ -80,6 +99,14 @@ pub struct ExploreResult {
     pub depth_limited_paths: usize,
     /// True when the state or depth limits truncated the exploration.
     pub truncated: bool,
+    /// Successor branches skipped by the ample-set reduction (runnable
+    /// threads not expanded because a commuting local step stood in for
+    /// them). Zero when [`ExploreConfig::ample`] is off. Excluded from
+    /// [`tally`](Self::tally): it describes the search, not the verdict.
+    pub ample_pruned: usize,
+    /// States where the ample candidate would have closed a cycle on the
+    /// current path and the cycle proviso forced a full expansion.
+    pub full_expansions: usize,
 }
 
 impl ExploreResult {
@@ -172,10 +199,17 @@ fn explore_stoppable(
         cycle_witness: None,
         depth_limited_paths: 0,
         truncated: false,
+        ample_pruned: 0,
+        full_expansions: 0,
+    };
+    let groups = if config.symmetry {
+        vm.symmetry_groups()
+    } else {
+        Vec::new()
     };
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     let mut on_path: FxHashSet<u64> = FxHashSet::default();
-    let key0 = vm.state_key();
+    let key0 = key_of(&vm, &groups);
     seen.insert(key0);
     on_path.insert(key0);
     let mut stopped = false;
@@ -183,6 +217,7 @@ fn explore_stoppable(
         vm,
         0,
         config,
+        &groups,
         &mut seen,
         &mut on_path,
         &mut result,
@@ -222,6 +257,24 @@ fn flush_explore_stats(result: &ExploreResult) {
     if result.truncated {
         reg.counter("vm.explore.truncated").inc();
     }
+    if result.ample_pruned > 0 {
+        reg.counter("vm.explore.ample_pruned")
+            .add(result.ample_pruned as u64);
+    }
+    if result.full_expansions > 0 {
+        reg.counter("vm.explore.full_expansions")
+            .add(result.full_expansions as u64);
+    }
+}
+
+/// The dedup key of a state: the plain [`Vm::state_key`], or the
+/// symmetry-quotiented key when thread-symmetry groups are in play.
+fn key_of(vm: &Vm, groups: &[Vec<usize>]) -> u64 {
+    if groups.is_empty() {
+        vm.state_key()
+    } else {
+        vm.state_key_symmetric(groups)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -229,6 +282,7 @@ fn dfs(
     vm: Vm,
     depth: usize,
     config: &ExploreConfig,
+    groups: &[Vec<usize>],
     seen: &mut FxHashSet<u64>,
     on_path: &mut FxHashSet<u64>,
     result: &mut ExploreResult,
@@ -268,49 +322,96 @@ fn dfs(
         result.truncated = true;
         return;
     }
-    for t in vm.runnable() {
+    let runnable = vm.runnable();
+    if config.ample && runnable.len() > 1 {
+        // Ample-set reduction: when some runnable thread's next step is
+        // thread-local, that step commutes with every other thread's
+        // steps, so expanding it *alone* reaches the same failure classes
+        // as the full expansion — unless the step closes a cycle on the
+        // current path, where postponing the other threads forever could
+        // hide them behind a local loop (the cycle proviso).
+        if let Some(&cand) = runnable.iter().find(|&&i| vm.is_local_step(i)) {
+            let mut next = vm.clone();
+            next.step(cand);
+            let key = key_of(&next, groups);
+            if on_path.contains(&key) {
+                result.full_expansions += 1;
+            } else {
+                result.ample_pruned += runnable.len() - 1;
+                visit(
+                    next, key, depth, config, groups, seen, on_path, result, observer, stop,
+                    stopped,
+                );
+                return;
+            }
+        }
+    }
+    for t in runnable {
         let mut next = vm.clone();
         next.step(t);
-        result.transitions += 1;
-        let key = next.state_key();
-        if on_path.contains(&key) {
-            // The path closed a loop on itself: it can repeat forever.
-            result.cycle_paths += 1;
-            let runnable = next.runnable();
-            if runnable.len() == 1 {
-                result.inescapable_cycles += 1;
-            }
-            observer(&next);
-            if result.cycle_witness.is_none() {
-                result.cycle_witness = Some(next.into_outcome(Verdict::StepLimit));
-            }
-            continue;
-        }
-        if !seen.insert(key) {
-            // Reached a state first visited on another path: its subtree is
-            // observed from there; report this path's prefix only.
-            observer(&next);
-            continue;
-        }
-        if result.states >= config.max_states {
-            result.truncated = true;
-            continue;
-        }
-        result.states += 1;
-        on_path.insert(key);
-        dfs(
-            next,
-            depth + 1,
-            config,
-            seen,
-            on_path,
-            result,
-            observer,
-            stop,
-            stopped,
+        let key = key_of(&next, groups);
+        visit(
+            next, key, depth, config, groups, seen, on_path, result, observer, stop, stopped,
         );
-        on_path.remove(&key);
     }
+}
+
+/// Process one successor state of the DFS (shared by the full expansion
+/// and the ample singleton): count the transition, classify cycle /
+/// already-seen / fresh, and recurse on fresh states.
+#[allow(clippy::too_many_arguments)]
+fn visit(
+    next: Vm,
+    key: u64,
+    depth: usize,
+    config: &ExploreConfig,
+    groups: &[Vec<usize>],
+    seen: &mut FxHashSet<u64>,
+    on_path: &mut FxHashSet<u64>,
+    result: &mut ExploreResult,
+    observer: &mut impl FnMut(&Vm),
+    stop: Option<&AtomicBool>,
+    stopped: &mut bool,
+) {
+    result.transitions += 1;
+    if on_path.contains(&key) {
+        // The path closed a loop on itself: it can repeat forever.
+        result.cycle_paths += 1;
+        let runnable = next.runnable();
+        if runnable.len() == 1 {
+            result.inescapable_cycles += 1;
+        }
+        observer(&next);
+        if result.cycle_witness.is_none() {
+            result.cycle_witness = Some(next.into_outcome(Verdict::StepLimit));
+        }
+        return;
+    }
+    if !seen.insert(key) {
+        // Reached a state first visited on another path: its subtree is
+        // observed from there; report this path's prefix only.
+        observer(&next);
+        return;
+    }
+    if result.states >= config.max_states {
+        result.truncated = true;
+        return;
+    }
+    result.states += 1;
+    on_path.insert(key);
+    dfs(
+        next,
+        depth + 1,
+        config,
+        groups,
+        seen,
+        on_path,
+        result,
+        observer,
+        stop,
+        stopped,
+    );
+    on_path.remove(&key);
 }
 
 /// Which portfolio strategy produced the first failure witness.
@@ -653,6 +754,140 @@ mod tests {
         );
         assert!(r.truncated);
         assert!(r.depth_limited_paths > 0);
+    }
+
+    /// The failure-class existence booleans a sound reduction must
+    /// preserve (counts are allowed to differ).
+    fn classes(r: &ExploreResult) -> (bool, bool, bool, bool, bool) {
+        (
+            r.completed_paths > 0,
+            r.deadlock_paths > 0,
+            r.fault_paths > 0,
+            r.cycle_paths > 0,
+            r.inescapable_cycles > 0,
+        )
+    }
+
+    #[test]
+    fn symmetry_quotient_preserves_classes_and_shrinks_states() {
+        // Two *identical* consumers (same name, same calls) are
+        // interchangeable; the producer sends twice so both receives can
+        // complete.
+        let c = examples::producer_consumer();
+        let make_vm = |symmetric: bool| {
+            Vm::new(
+                compile(&c).unwrap(),
+                vec![
+                    ThreadSpec {
+                        name: "c".into(),
+                        calls: vec![CallSpec::new("receive", vec![])],
+                    },
+                    ThreadSpec {
+                        name: if symmetric { "c" } else { "c2" }.into(),
+                        calls: vec![CallSpec::new("receive", vec![])],
+                    },
+                    ThreadSpec {
+                        name: "p".into(),
+                        calls: vec![
+                            CallSpec::new("send", vec![Value::Str("a".into())]),
+                            CallSpec::new("send", vec![Value::Str("a".into())]),
+                        ],
+                    },
+                ],
+            )
+        };
+        let full = explore(make_vm(true), &ExploreConfig::default(), None);
+        let reduced = explore(
+            make_vm(true),
+            &ExploreConfig {
+                symmetry: true,
+                ..ExploreConfig::default()
+            },
+            None,
+        );
+        assert!(!full.truncated && !reduced.truncated);
+        assert_eq!(classes(&full), classes(&reduced));
+        assert!(
+            reduced.states < full.states,
+            "quotient must shrink: {} vs {}",
+            reduced.states,
+            full.states
+        );
+        // Distinct names ⇒ no symmetry group ⇒ the knob is a no-op.
+        let asym = explore(
+            make_vm(false),
+            &ExploreConfig {
+                symmetry: true,
+                ..ExploreConfig::default()
+            },
+            None,
+        );
+        assert_eq!(asym.tally(), full.tally());
+    }
+
+    #[test]
+    fn ample_reduction_preserves_deadlock_and_completion() {
+        let c = examples::lock_order_deadlock();
+        let make_vm = || {
+            Vm::new(
+                compile(&c).unwrap(),
+                vec![
+                    ThreadSpec {
+                        name: "f".into(),
+                        calls: vec![CallSpec::new("forward", vec![])],
+                    },
+                    ThreadSpec {
+                        name: "b".into(),
+                        calls: vec![CallSpec::new("backward", vec![])],
+                    },
+                ],
+            )
+        };
+        let full = explore(make_vm(), &ExploreConfig::default(), None);
+        let reduced = explore(
+            make_vm(),
+            &ExploreConfig {
+                ample: true,
+                ..ExploreConfig::default()
+            },
+            None,
+        );
+        assert_eq!(classes(&full), classes(&reduced));
+        assert!(reduced.deadlock_paths > 0);
+        assert!(reduced.ample_pruned > 0, "{reduced:?}");
+        assert!(reduced.states <= full.states);
+    }
+
+    #[test]
+    fn ample_cycle_proviso_keeps_livelocks_detectable() {
+        // SkipWait turns receive's wait into a busy loop holding the
+        // monitor: without the cycle proviso, the looping thread's local
+        // jumps could be the ample pick forever and the cycle verdicts
+        // could be distorted. Class booleans must match the full search.
+        let c = examples::producer_consumer();
+        let m = jcc_model::mutate::enumerate_mutations(&c)
+            .into_iter()
+            .find(|m| {
+                m.kind == jcc_model::mutate::MutationKind::SkipWait && m.method == "receive"
+            })
+            .unwrap();
+        let mutant = jcc_model::mutate::apply_mutation(&c, &m).unwrap();
+        let full = explore(
+            Vm::new(compile(&mutant).unwrap(), pc_threads()),
+            &ExploreConfig::default(),
+            None,
+        );
+        let reduced = explore(
+            Vm::new(compile(&mutant).unwrap(), pc_threads()),
+            &ExploreConfig {
+                ample: true,
+                symmetry: true,
+                ..ExploreConfig::default()
+            },
+            None,
+        );
+        assert_eq!(classes(&full), classes(&reduced));
+        assert!(reduced.cycle_paths > 0 && reduced.inescapable_cycles > 0);
     }
 
     fn portfolio_config(threads: usize, early_exit: bool) -> PortfolioConfig {

@@ -386,6 +386,122 @@ impl Vm {
         h.finish()
     }
 
+    /// Groups of interchangeable thread indices: threads whose
+    /// [`ThreadSpec`]s are equal (same name, same call sequence) behave
+    /// identically under every schedule, so permuting them is an
+    /// automorphism of the transition system. Groups preserve first-index
+    /// order; singletons are dropped (no permutation to exploit).
+    pub fn symmetry_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..self.specs.len() {
+            match groups
+                .iter_mut()
+                .find(|g| self.specs[g[0]] == self.specs[i])
+            {
+                Some(g) => g.push(i),
+                None => groups.push(vec![i]),
+            }
+        }
+        groups.retain(|g| g.len() > 1);
+        groups
+    }
+
+    /// Everything thread `i` contributes to the state key, hashed in
+    /// isolation so interchangeable threads can be ordered canonically:
+    /// its control state, coverage marker, observable call results and its
+    /// role in every lock (owner? position in the FIFO wait set?).
+    fn thread_fingerprint(&self, i: usize) -> u64 {
+        let mut h = FxHasher::default();
+        self.threads[i].hash(&mut h);
+        self.last_marker[i].hash(&mut h);
+        for call in &self.results[i] {
+            call.method.hash(&mut h);
+            call.completed_step.is_some().hash(&mut h);
+            call.returned.hash(&mut h);
+        }
+        for lock in &self.locks {
+            (lock.owner == Some(i)).hash(&mut h);
+            lock.wait_set.iter().position(|&w| w == i).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// [`state_key`](Self::state_key) quotiented by thread symmetry: all
+    /// states related by permuting the threads of one `groups` entry hash
+    /// to the same key. Within each group, threads are sorted by
+    /// [fingerprint](Self::thread_fingerprint) (ties broken by index —
+    /// a tie can only lose reduction, never merge inequivalent states),
+    /// and the whole state is hashed with every thread index remapped
+    /// through that canonical permutation, including lock owners and
+    /// wait-set entries (FIFO order preserved).
+    pub fn state_key_symmetric(&self, groups: &[Vec<usize>]) -> u64 {
+        if groups.is_empty() {
+            return self.state_key();
+        }
+        let n = self.threads.len();
+        // new_at[slot] = old thread index placed at `slot` canonically.
+        let mut new_at: Vec<usize> = (0..n).collect();
+        let mut keyed: Vec<(u64, usize)> = Vec::new();
+        for group in groups {
+            keyed.clear();
+            keyed.extend(group.iter().map(|&i| (self.thread_fingerprint(i), i)));
+            keyed.sort_unstable();
+            for (&slot, &(_, old)) in group.iter().zip(keyed.iter()) {
+                new_at[slot] = old;
+            }
+        }
+        let mut old_to_new = vec![0usize; n];
+        for (slot, &old) in new_at.iter().enumerate() {
+            old_to_new[old] = slot;
+        }
+        let mut h = FxHasher::default();
+        self.fields.hash(&mut h);
+        for lock in &self.locks {
+            lock.owner.map(|o| old_to_new[o]).hash(&mut h);
+            lock.count.hash(&mut h);
+            lock.wait_set.len().hash(&mut h);
+            for &w in &lock.wait_set {
+                old_to_new[w].hash(&mut h);
+            }
+        }
+        for &old in &new_at {
+            self.threads[old].hash(&mut h);
+            self.last_marker[old].hash(&mut h);
+            for call in &self.results[old] {
+                call.method.hash(&mut h);
+                call.completed_step.is_some().hash(&mut h);
+                call.returned.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// True when thread `i`'s next step is *thread-local*: it touches
+    /// neither locks nor shared fields and cannot fault, so it commutes
+    /// with every step of every other thread. Idle threads qualify when
+    /// their next call resolves cleanly (method exists, arity matches) —
+    /// `begin_call` then only builds the thread's own frame. Used by the
+    /// explorer's ample-set reduction.
+    pub fn is_local_step(&self, i: usize) -> bool {
+        let t = &self.threads[i];
+        match &t.status {
+            Status::Idle => {
+                let Some(call) = self.specs[i].calls.get(t.call_idx) else {
+                    return false;
+                };
+                match self.component.method_index(&call.method) {
+                    Some(mi) => self.component.methods[mi].params.len() == call.args.len(),
+                    None => false,
+                }
+            }
+            Status::Running => {
+                let frame = t.frame.as_ref().expect("running frame");
+                self.component.methods[frame.method_idx].code[frame.pc].is_thread_local()
+            }
+            _ => false,
+        }
+    }
+
     /// Execute one step of thread `idx`. Panics if the thread is not
     /// runnable (callers choose from [`runnable`](Self::runnable)).
     pub fn step(&mut self, idx: usize) {
@@ -896,6 +1012,71 @@ mod tests {
             name: name.to_string(),
             calls,
         }
+    }
+
+    #[test]
+    fn symmetry_groups_require_identical_specs() {
+        let recv = || vec![CallSpec::new("receive", vec![])];
+        let vm = pc_vm(vec![
+            spec("c", recv()),
+            spec("p", vec![CallSpec::new("send", vec![Value::Str("a".into())])]),
+            spec("c", recv()),
+            spec("c", recv()),
+        ]);
+        assert_eq!(vm.symmetry_groups(), vec![vec![0, 2, 3]]);
+        // Different names (or call lists) break interchangeability.
+        let vm = pc_vm(vec![spec("c1", recv()), spec("c2", recv())]);
+        assert!(vm.symmetry_groups().is_empty());
+    }
+
+    #[test]
+    fn permuted_states_share_a_symmetric_key() {
+        let recv = || vec![CallSpec::new("receive", vec![])];
+        let vm = pc_vm(vec![
+            spec("c", recv()),
+            spec("c", recv()),
+            spec("p", vec![CallSpec::new("send", vec![Value::Str("a".into())])]),
+        ]);
+        let groups = vm.symmetry_groups();
+        assert_eq!(groups, vec![vec![0, 1]]);
+        // Start thread 0 in one copy, thread 1 in the other: the states
+        // are thread-permutations of each other.
+        let mut a = vm.clone();
+        a.step(0);
+        let mut b = vm.clone();
+        b.step(1);
+        assert_ne!(a.state_key(), b.state_key());
+        assert_eq!(
+            a.state_key_symmetric(&groups),
+            b.state_key_symmetric(&groups)
+        );
+        // Advance both copies identically: keys stay in lockstep, and a
+        // genuinely different state (the producer moved) changes the key.
+        a.step(0);
+        b.step(1);
+        assert_eq!(
+            a.state_key_symmetric(&groups),
+            b.state_key_symmetric(&groups)
+        );
+        let before = a.state_key_symmetric(&groups);
+        a.step(2);
+        assert_ne!(a.state_key_symmetric(&groups), before);
+    }
+
+    #[test]
+    fn local_steps_are_exactly_the_commuting_ones() {
+        let recv = || vec![CallSpec::new("receive", vec![])];
+        let vm = pc_vm(vec![spec("c", recv()), spec("p", recv())]);
+        // Idle with a resolvable call: local (begin_call builds only the
+        // thread's own frame).
+        assert!(vm.is_local_step(0));
+        let mut vm = vm;
+        vm.step(0);
+        // Now Running at EnterSync (synchronized method): not local.
+        assert!(!vm.is_local_step(0));
+        // A thread whose call cannot resolve is not a local step.
+        let bad = pc_vm(vec![spec("x", vec![CallSpec::new("nope", vec![])])]);
+        assert!(!bad.is_local_step(0));
     }
 
     #[test]

@@ -84,6 +84,35 @@ fn filtered_reach_graph_identical_across_thread_counts() {
     }
 }
 
+/// The adaptive batch policy must leave work visible to thieves: on a
+/// frontier large enough to occupy four workers (JavaNet(8): ~24k
+/// states), at least one steal happens. The moment of a steal is
+/// scheduling-dependent, so retry a few times before declaring the steal
+/// path starved — the determinism of the *result* is covered by the
+/// fingerprint tests above, this one guards the fix for the old fixed
+/// 8/4 batches draining whole queues before anyone else saw work.
+#[test]
+fn adaptive_batching_lets_workers_steal() {
+    use jcc_core::obs;
+    let j = JavaNet::new(8);
+    let mut steals = 0u64;
+    for _attempt in 0..3 {
+        obs::set_level(obs::ObsLevel::Summary);
+        obs::global().reset();
+        let g = ReachGraph::explore(j.net(), limits(4));
+        steals = obs::global().counter("petri.reach.steals").get();
+        obs::set_level(obs::ObsLevel::Off);
+        assert!(g.stats().truncated.is_none());
+        if steals > 0 {
+            break;
+        }
+    }
+    assert!(
+        steals > 0,
+        "no steals in 3 runs — adaptive batching is starving the steal path"
+    );
+}
+
 fn pc_vm() -> Vm {
     let c = examples::producer_consumer();
     Vm::new(

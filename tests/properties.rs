@@ -89,6 +89,7 @@ proptest! {
             max_states: 3_000,
             max_tokens_per_place: 8,
             parallelism: Parallelism::sequential(),
+            ..ReachLimits::default()
         };
         let seq = ReachGraph::explore(&net, limits);
         let par = ReachGraph::explore(

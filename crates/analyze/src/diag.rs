@@ -158,6 +158,22 @@ impl fmt::Display for CheckId {
     }
 }
 
+/// A machine-usable source location for a diagnostic, attached by source
+/// frontends (the Java frontend maps MIR method/statement ids back through
+/// its `LowerMap`). The DSL path leaves it `None`, which keeps every
+/// pre-existing rendering and JSON document byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SrcLoc {
+    /// Source file the diagnostic points into.
+    pub file: String,
+    /// 1-based line of the span start.
+    pub line: u32,
+    /// 1-based column of the span start.
+    pub col: u32,
+    /// Byte range `[lo, hi)` in the file.
+    pub span: (u32, u32),
+}
+
 /// One static finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -172,6 +188,10 @@ pub struct Diagnostic {
     pub method: String,
     /// Statement path of the offending statement, where one exists.
     pub path: Option<StmtPath>,
+    /// Source location, when a source frontend can supply one. The
+    /// analyzer itself always emits `None`; frontends attach locations via
+    /// [`AnalysisReport::attach_sources`].
+    pub src: Option<SrcLoc>,
     /// Human-readable explanation with the concrete evidence.
     pub message: String,
 }
@@ -196,6 +216,17 @@ impl Diagnostic {
             self.check,
             self.message.clone(),
         )
+    }
+
+    /// The source-aware sort prefix: `(file, span, check)`. Diagnostics
+    /// without a source location (the DSL path) all share the minimal key,
+    /// so their relative order is still decided by the declaration-order
+    /// key — the pre-existing byte-identical ordering.
+    fn src_key(&self) -> (String, (u32, u32), CheckId) {
+        match &self.src {
+            Some(s) => (s.file.clone(), s.span, self.check),
+            None => (String::new(), (0, 0), CheckId::ALL[0]),
+        }
     }
 }
 
@@ -239,13 +270,27 @@ impl AnalysisReport {
                 .unwrap_or(method_order.len())
         };
         diagnostics.sort_by(|a, b| {
-            (rank(&a.method), a.sort_key()).cmp(&(rank(&b.method), b.sort_key()))
+            (a.src_key(), rank(&a.method), a.sort_key())
+                .cmp(&(b.src_key(), rank(&b.method), b.sort_key()))
         });
         diagnostics.dedup();
         AnalysisReport {
             component: component.to_string(),
             diagnostics,
         }
+    }
+
+    /// Attach source locations resolved by a frontend, then re-sort into
+    /// the deterministic `(file, span, check)` rendering order. Stable:
+    /// diagnostics `resolve` leaves without a location keep their existing
+    /// declaration-order position relative to each other.
+    pub fn attach_sources(&mut self, resolve: impl Fn(&Diagnostic) -> Option<SrcLoc>) {
+        for d in &mut self.diagnostics {
+            d.src = resolve(d);
+        }
+        // Stable sort on the source key alone: diagnostics left without a
+        // location (all ties) keep their declaration-order positions.
+        self.diagnostics.sort_by_key(|a| a.src_key());
     }
 
     /// Diagnostics at or above `min` severity.
@@ -321,6 +366,20 @@ impl AnalysisReport {
                         Json::Arr(p.0.iter().map(|&s| Json::Num(s as f64)).collect()),
                     ));
                 }
+                // Frontend-attached source locations extend the record;
+                // the DSL path has none, keeping its documents unchanged.
+                if let Some(s) = &d.src {
+                    pairs.push(("file".to_string(), Json::Str(s.file.clone())));
+                    pairs.push(("line".to_string(), Json::Num(s.line as f64)));
+                    pairs.push(("col".to_string(), Json::Num(s.col as f64)));
+                    pairs.push((
+                        "span".to_string(),
+                        Json::Arr(vec![
+                            Json::Num(s.span.0 as f64),
+                            Json::Num(s.span.1 as f64),
+                        ]),
+                    ));
+                }
                 Json::obj(pairs)
             })
             .collect();
@@ -359,6 +418,7 @@ mod tests {
             check,
             class: FailureClass::new(Deviation::FailureToFire, Transition::T5),
             severity: Severity::High,
+            src: None,
             method: method.to_string(),
             path: path.map(StmtPath),
             message: "m".into(),
@@ -408,6 +468,74 @@ mod tests {
         let d = &j.get("diagnostics").unwrap().as_arr().unwrap()[0];
         assert_eq!(d.get("check").unwrap().as_str(), Some("no-notifier-for-wait"));
         assert_eq!(d.get("class").unwrap().as_str(), Some("FF-T5"));
+    }
+
+    #[test]
+    fn attach_sources_resorts_by_file_span_check() {
+        let order = vec!["a".to_string(), "b".to_string()];
+        let mut r = AnalysisReport::new(
+            "C",
+            vec![
+                diag("a", Some(vec![0]), CheckId::WaitNotInLoop),
+                diag("b", Some(vec![1]), CheckId::UnconditionalWait),
+                diag("b", Some(vec![2]), CheckId::NoNotifierForWait),
+            ],
+            &order,
+        );
+        // Give method `b`'s diagnostics earlier spans than `a`'s: the
+        // source order must win over declaration order after attachment.
+        r.attach_sources(|d| {
+            let lo = match (d.method.as_str(), d.check) {
+                ("b", CheckId::UnconditionalWait) => 10,
+                ("b", CheckId::NoNotifierForWait) => 10, // same span: check breaks the tie
+                _ => 90,
+            };
+            Some(SrcLoc {
+                file: "Foo.java".into(),
+                line: 1 + lo / 10,
+                col: 1,
+                span: (lo, lo + 4),
+            })
+        });
+        let got: Vec<(&str, CheckId)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.method.as_str(), d.check))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("b", CheckId::UnconditionalWait),
+                ("b", CheckId::NoNotifierForWait),
+                ("a", CheckId::WaitNotInLoop),
+            ]
+        );
+        let j = r.to_json();
+        let d0 = &j.get("diagnostics").unwrap().as_arr().unwrap()[0];
+        assert_eq!(d0.get("file").unwrap().as_str(), Some("Foo.java"));
+        assert_eq!(d0.get("line").unwrap().as_u64(), Some(2));
+        assert_eq!(d0.get("col").unwrap().as_u64(), Some(1));
+        let span = d0.get("span").unwrap().as_arr().unwrap();
+        assert_eq!(span[0].as_u64(), Some(10));
+        assert_eq!(span[1].as_u64(), Some(14));
+    }
+
+    #[test]
+    fn sourceless_reports_render_and_serialize_exactly_as_before() {
+        let order = vec!["b".to_string(), "a".to_string()];
+        let diags = vec![
+            diag("a", Some(vec![0]), CheckId::WaitNotInLoop),
+            diag("b", Some(vec![2]), CheckId::WaitNotInLoop),
+        ];
+        let r = AnalysisReport::new("C", diags.clone(), &order);
+        // All-None src keys tie, so declaration order still decides; and
+        // the JSON document carries no file/line/col/span keys.
+        assert_eq!(r.diagnostics[0].method, "b");
+        assert!(!r.to_json_string().contains("\"file\""));
+        let mut attached = r.clone();
+        attached.attach_sources(|_| None);
+        assert_eq!(attached.render(), r.render());
+        assert_eq!(attached.to_json_string(), r.to_json_string());
     }
 
     #[test]

@@ -154,6 +154,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::UnlockedFieldAccess,
                 class: class(Deviation::FailureToFire, Transition::T1),
                 severity: if is_write { Severity::High } else { Severity::Medium },
+                src: None,
                 method,
                 path: Some(path),
                 message: format!(
@@ -199,6 +200,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                             check: CheckId::MonitorNotHeld,
                             class: class(Deviation::FailureToFire, Transition::T1),
                             severity: Severity::High,
+                            src: None,
                             method: method.name.clone(),
                             path: Some(ev.path.clone()),
                             message: format!(
@@ -221,6 +223,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                                 check: CheckId::NestedMonitorWait,
                                 class: class(Deviation::FailureToFire, Transition::T2),
                                 severity: Severity::High,
+                                src: None,
                                 method: method.name.clone(),
                                 path: Some(ev.path.clone()),
                                 message: format!(
@@ -240,6 +243,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                                 check: CheckId::RedundantSync,
                                 class: class(Deviation::ErroneousFiring, Transition::T1),
                                 severity: Severity::Medium,
+                                src: None,
                                 method: method.name.clone(),
                                 path: Some(ev.path.clone()),
                                 message: format!(
@@ -259,6 +263,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                             check: CheckId::GuardLoopWithoutWait,
                             class: class(Deviation::FailureToFire, Transition::T3),
                             severity: Severity::Medium,
+                            src: None,
                             method: method.name.clone(),
                             path: Some(ev.path.clone()),
                             message: "guard loop never waits: the body neither \
@@ -273,6 +278,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                                 check: CheckId::LoopHoldsLockForever,
                                 class: class(Deviation::FailureToFire, Transition::T4),
                                 severity: Severity::Medium,
+                                src: None,
                                 method: method.name.clone(),
                                 path: Some(ev.path.clone()),
                                 message: "`while (true)` with no `wait` or `return` \
@@ -285,6 +291,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                             check: CheckId::LoopHoldsLockForever,
                             class: class(Deviation::FailureToFire, Transition::T4),
                             severity: Severity::High,
+                            src: None,
                             method: method.name.clone(),
                             path: Some(ev.path.clone()),
                             message: format!(
@@ -305,6 +312,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                     check: CheckId::UnreachableAfterReturn,
                     class: class(Deviation::ErroneousFiring, Transition::T4),
                     severity: Severity::High,
+                    src: None,
                     method: method.name.clone(),
                     path: Some(anchor.clone()),
                     message: "unreachable code after `return` includes a notification: \
@@ -315,6 +323,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                     check: CheckId::UnreachableAfterReturn,
                     class: class(Deviation::FailureToFire, Transition::T5),
                     severity: Severity::Medium,
+                    src: None,
                     method: method.name.clone(),
                     path: Some(anchor),
                     message: "a notification that can never execute is a lost \
@@ -326,6 +335,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                     check: CheckId::UnreachableAfterReturn,
                     class: class(Deviation::ErroneousFiring, Transition::T4),
                     severity: Severity::Low,
+                    src: None,
                     method: method.name.clone(),
                     path: Some(anchor),
                     message: "statements after an unconditional `return` can never \

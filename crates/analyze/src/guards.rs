@@ -217,6 +217,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::NoNotifierForWait,
                 class: class(Deviation::FailureToFire, Transition::T5),
                 severity: Severity::High,
+                src: None,
                 method: w.method.clone(),
                 path: Some(w.path.clone()),
                 message: format!(
@@ -234,6 +235,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::UnconditionalWait,
                 class: class(Deviation::ErroneousFiring, Transition::T3),
                 severity: Severity::High,
+                src: None,
                 method: w.method.clone(),
                 path: Some(w.path.clone()),
                 message: "`wait` under no condition at all: the thread suspends \
@@ -245,6 +247,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::WaitNotInLoop,
                 class: class(Deviation::ErroneousFiring, Transition::T5),
                 severity: Severity::Medium,
+                src: None,
                 method: w.method.clone(),
                 path: Some(w.path.clone()),
                 message: format!(
@@ -283,6 +286,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                     check: CheckId::MissedNotification,
                     class: class(Deviation::FailureToFire, Transition::T5),
                     severity: Severity::Medium,
+                    src: None,
                     method: method.name.clone(),
                     path: None,
                     message: format!(
@@ -309,6 +313,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::NotifySingleHeterogeneous,
                 class: class(Deviation::FailureToFire, Transition::T5),
                 severity: Severity::Medium,
+                src: None,
                 method: n.method.clone(),
                 path: Some(n.path.clone()),
                 message: format!(
@@ -324,6 +329,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::NotifyInsteadOfNotifyAllStyle,
                 class: class(Deviation::FailureToFire, Transition::T5),
                 severity: Severity::Low,
+                src: None,
                 method: n.method.clone(),
                 path: Some(n.path.clone()),
                 message: format!(
@@ -353,6 +359,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
                 check: CheckId::PossiblyUnnecessarySync,
                 class: class(Deviation::ErroneousFiring, Transition::T1),
                 severity: Severity::Low,
+                src: None,
                 method: method.name.clone(),
                 path: None,
                 message: "synchronized method neither waits, notifies, nor touches \

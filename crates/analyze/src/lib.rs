@@ -49,7 +49,7 @@ pub mod guards;
 pub mod lockorder;
 pub mod locks;
 
-pub use diag::{AnalysisReport, CheckId, Diagnostic, Severity, SCHEMA};
+pub use diag::{AnalysisReport, CheckId, Diagnostic, Severity, SrcLoc, SCHEMA};
 pub use lockorder::LockOrderGraph;
 pub use locks::{LockId, LockTable};
 

@@ -153,6 +153,7 @@ pub fn run(component: &Component, table: &LockTable, out: &mut Vec<Diagnostic>) 
             check: CheckId::LockOrderCycle,
             class: FailureClass::new(Deviation::FailureToFire, Transition::T2),
             severity: Severity::High,
+            src: None,
             method: format!("<{}>", component.name),
             path: None,
             message: format!(

@@ -49,12 +49,14 @@ const COVERAGE_EPSILON: f64 = 0.5;
 /// reduced state) and `reduction_equiv_states_per_sec` (full-size states
 /// per reduced-run second) gate the ample-set + thread-symmetry
 /// reductions: losing either means the reduction stopped pruning or
-/// stopped being fast, both regressions.
+/// stopped being fast, both regressions. `java_loc_per_sec` gates the
+/// Java frontend's full-pipeline throughput (E13).
 const THROUGHPUT_KEYS: &[&str] = &[
     "states_per_sec",
     "events_per_sec",
     "reduction_factor",
     "reduction_equiv_states_per_sec",
+    "java_loc_per_sec",
 ];
 
 /// Extract the value of the exact quoted key `"{key}"` from a JSON

@@ -1,0 +1,104 @@
+//! `jcc` — the command-line linter over the Java-subset frontend.
+//!
+//! ```text
+//! jcc check [--deny=high|medium|low] [--format=text|json] <paths...>
+//! ```
+//!
+//! Paths may be `.java` files or directories (searched recursively,
+//! sorted). Exit codes: 0 = clean at the deny threshold, 1 = findings at
+//! or above the threshold, 2 = parse/lower error (or bad usage).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jcc_analyze::Severity;
+use jcc_javasrc::check::{check_paths, CheckOptions, Format};
+
+const USAGE: &str = "\
+usage: jcc check [--deny=high|medium|low] [--format=text|json] <paths...>
+
+Lints Java sources with the jcc static concurrency analyzer.
+Paths may be .java files or directories (searched recursively).
+
+exit codes:
+  0  every file parsed and no finding reached the --deny threshold
+  1  at least one finding at or above the threshold (default: high)
+  2  a file failed to parse or lower, or the command line was invalid
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<u8, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            return Ok(0);
+        }
+        Some(other) => return Err(format!("unknown command `{other}`")),
+        None => return Err("missing command".to_string()),
+    }
+
+    let mut opts = CheckOptions::default();
+    let mut paths = Vec::new();
+    for arg in it {
+        if let Some(v) = arg.strip_prefix("--deny=") {
+            opts.deny = match v {
+                "high" => Severity::High,
+                "medium" => Severity::Medium,
+                "low" => Severity::Low,
+                _ => return Err(format!("invalid --deny level `{v}`")),
+            };
+        } else if let Some(v) = arg.strip_prefix("--format=") {
+            opts.format = match v {
+                "text" => Format::Text,
+                "json" => Format::Json,
+                _ => return Err(format!("invalid --format `{v}`")),
+            };
+        } else if arg == "--help" || arg == "-h" {
+            print!("{USAGE}");
+            return Ok(0);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown option `{arg}`"));
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    if paths.is_empty() {
+        return Err("no input paths".to_string());
+    }
+
+    let outcome = check_paths(&paths, &opts).map_err(|e| e.to_string())?;
+    print!("{}", outcome.output);
+    if opts.format == Format::Text {
+        let n_files = outcome.files.len();
+        let findings: usize = outcome
+            .files
+            .iter()
+            .flat_map(|f| f.reports.iter())
+            .map(|r| r.diagnostics.len())
+            .sum();
+        println!(
+            "checked {n_files} file(s), {} LOC: {findings} finding(s), {} at or above --deny={}, {} frontend error(s)",
+            outcome.loc,
+            outcome.denied_findings,
+            opts.deny.name(),
+            outcome.front_errors,
+        );
+    }
+    Ok(outcome.exit_code() as u8)
+}

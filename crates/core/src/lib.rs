@@ -68,6 +68,7 @@ pub use jcc_clock as clock;
 pub use jcc_cofg as cofg;
 pub use jcc_components as components;
 pub use jcc_detect as detect;
+pub use jcc_javasrc as javasrc;
 pub use jcc_model as model;
 pub use jcc_obs as obs;
 pub use jcc_petri as petri;

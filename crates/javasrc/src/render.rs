@@ -1,0 +1,159 @@
+//! Rustc-style rendering of diagnostics against the original source.
+//!
+//! Both analyzer findings (with an attached [`SrcLoc`]) and frontend
+//! errors render in the same shape:
+//!
+//! ```text
+//! error[FF-T5]: `wait` on `this` but no method ever notifies it
+//!   --> tests/java_corpus/buggy/MissingNotify.java:9:13
+//!    |
+//!  9 |             wait();
+//!    |             ^^^^^^^
+//!    |
+//!    = note: no-notifier-for-wait (severity high) in method `take`
+//! ```
+//!
+//! The severity → label mapping is fixed (`high` → `error`, `medium` →
+//! `warning`, `low` → `note`) so rendered output is independent of the
+//! `--deny` threshold and byte-identical across runs.
+
+use std::fmt::Write as _;
+
+use jcc_analyze::{Diagnostic, Severity};
+
+use crate::diag::FrontDiag;
+use crate::span::{SourceMap, Span};
+
+/// The rustc-style label for a severity tier.
+pub fn severity_label(sev: Severity) -> &'static str {
+    match sev {
+        Severity::High => "error",
+        Severity::Medium => "warning",
+        Severity::Low => "note",
+    }
+}
+
+/// Append the `--> file:line:col` arrow plus the gutter-framed source
+/// line with a caret underline for `span`.
+fn snippet_block(out: &mut String, sm: &SourceMap, span: Span) {
+    let (line, col) = sm.line_col(span.lo);
+    let _ = writeln!(out, "  --> {}:{}:{}", sm.name(), line, col);
+    let text = sm.line_text(line);
+    let gutter = line.to_string().len().max(2);
+    let _ = writeln!(out, "{:gutter$} |", "");
+    let _ = writeln!(out, "{line:gutter$} | {text}");
+    // Underline from the start column to the span end, clamped to this
+    // line (multi-line spans underline their first line only).
+    let line_len = text.len() as u32;
+    let start = col - 1;
+    let width = span.len().clamp(1, line_len.saturating_sub(start).max(1));
+    let _ = writeln!(
+        out,
+        "{:gutter$} | {:start$}{}",
+        "",
+        "",
+        "^".repeat(width as usize),
+        start = start as usize,
+    );
+    let _ = writeln!(out, "{:gutter$} |", "");
+}
+
+/// Render one analyzer finding. The caller guarantees `d.src` is the
+/// location inside `sm` (attached via `AnalysisReport::attach_sources`);
+/// without one the note-only form is used.
+pub fn render_analyzer_diag(sm: &SourceMap, d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}[{}]: {}",
+        severity_label(d.severity),
+        d.class.code(),
+        d.message
+    );
+    if let Some(src) = &d.src {
+        snippet_block(&mut out, sm, Span { lo: src.span.0, hi: src.span.1 });
+    }
+    let _ = writeln!(
+        out,
+        "   = note: {} (severity {}) in method `{}`",
+        d.check,
+        d.severity,
+        d.method
+    );
+    out
+}
+
+/// Render one frontend (parse/lower) error.
+pub fn render_front_diag(sm: &SourceMap, d: &FrontDiag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "error[{}]: {}", d.phase.name(), d.message);
+    snippet_block(&mut out, sm, d.span);
+    if let Some(help) = &d.help {
+        let _ = writeln!(out, "   = help: {help}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Phase;
+    use jcc_analyze::{CheckId, SrcLoc};
+    use jcc_model::ast::StmtPath;
+    use jcc_petri::{Deviation, Transition};
+
+    fn sample_map() -> SourceMap {
+        SourceMap::new(
+            "T.java",
+            "class T {\n  void m() {\n    wait();\n  }\n}\n",
+        )
+    }
+
+    #[test]
+    fn front_diag_renders_arrow_and_caret() {
+        let sm = sample_map();
+        // Span of `wait();` — bytes 27..34 in the sample.
+        let span = Span::new(27, 34);
+        assert_eq!(sm.snippet(span), "wait();");
+        let d = FrontDiag::new(Phase::Parse, span, "boom").with_help("fix it");
+        let text = render_front_diag(&sm, &d);
+        assert!(text.starts_with("error[parse]: boom\n"), "{text}");
+        assert!(text.contains("--> T.java:3:5"), "{text}");
+        assert!(text.contains("3 |     wait();"), "{text}");
+        assert!(text.contains("^^^^^^^"), "{text}");
+        assert!(text.contains("= help: fix it"), "{text}");
+    }
+
+    #[test]
+    fn analyzer_diag_renders_class_code_and_note() {
+        let sm = sample_map();
+        let d = Diagnostic {
+            check: CheckId::MonitorNotHeld,
+            class: jcc_petri::FailureClass::new(Deviation::FailureToFire, Transition::T1),
+            severity: Severity::High,
+            method: "m".into(),
+            path: Some(StmtPath(vec![0])),
+            src: Some(SrcLoc {
+                file: "T.java".into(),
+                line: 3,
+                col: 5,
+                span: (27, 34),
+            }),
+            message: "wait outside monitor".into(),
+        };
+        let text = render_analyzer_diag(&sm, &d);
+        assert!(text.starts_with("error[FF-T1]: wait outside monitor\n"), "{text}");
+        assert!(text.contains("--> T.java:3:5"), "{text}");
+        assert!(
+            text.contains("= note: monitor-not-held (severity high) in method `m`"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn severity_labels_are_fixed() {
+        assert_eq!(severity_label(Severity::High), "error");
+        assert_eq!(severity_label(Severity::Medium), "warning");
+        assert_eq!(severity_label(Severity::Low), "note");
+    }
+}

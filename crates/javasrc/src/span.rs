@@ -1,0 +1,208 @@
+//! Byte spans and the [`SourceMap`] that converts them to line:column.
+//!
+//! Every token, AST node, and frontend diagnostic carries a [`Span`]: a
+//! half-open byte range `[lo, hi)` into the original source text. Spans
+//! stay cheap (`Copy`, two `u32`s) so the AST can carry one per node; the
+//! [`SourceMap`] owns the text plus a line-start table and performs the
+//! offset → line:column conversion lazily, only when a diagnostic is
+//! actually rendered.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into one source file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Start byte offset, inclusive.
+    pub lo: u32,
+    /// End byte offset, exclusive.
+    pub hi: u32,
+}
+
+impl Span {
+    /// A span over `[lo, hi)`.
+    pub fn new(lo: usize, hi: usize) -> Span {
+        Span {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    /// The zero-width placeholder span (offset 0); used when a construct
+    /// has no principled anchor, e.g. an EOF-adjacent recovery point.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Byte length of the span.
+    pub fn len(self) -> u32 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// One source file with its line-start table: the span → line:column
+/// oracle for diagnostic rendering.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    name: String,
+    src: String,
+    /// Byte offset of the start of each line, ascending; `line_starts[0]`
+    /// is always 0.
+    line_starts: Vec<u32>,
+}
+
+impl SourceMap {
+    /// Build the map for `src`, displayed as `name` in diagnostics.
+    pub fn new(name: impl Into<String>, src: impl Into<String>) -> SourceMap {
+        let src = src.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            name: name.into(),
+            src,
+            line_starts,
+        }
+    }
+
+    /// The display name (usually the file path).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full source text.
+    pub fn src(&self) -> &str {
+        &self.src
+    }
+
+    /// Number of lines (a trailing newline does not open a new line).
+    pub fn line_count(&self) -> u32 {
+        let n = self.line_starts.len() as u32;
+        if self
+            .line_starts
+            .last()
+            .is_some_and(|&s| s as usize >= self.src.len())
+            && n > 1
+        {
+            n - 1
+        } else {
+            n
+        }
+    }
+
+    /// Convert a byte offset to 1-based `(line, column)`. Offsets past the
+    /// end of the text land on the last line.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line_idx] + 1;
+        (line_idx as u32 + 1, col)
+    }
+
+    /// The text of 1-based `line`, without its trailing newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let idx = (line as usize).saturating_sub(1);
+        let start = match self.line_starts.get(idx) {
+            Some(&s) => s as usize,
+            None => return "",
+        };
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&e| e as usize)
+            .unwrap_or(self.src.len());
+        self.src[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// The source text the span covers.
+    pub fn snippet(&self, span: Span) -> &str {
+        let lo = (span.lo as usize).min(self.src.len());
+        let hi = (span.hi as usize).min(self.src.len()).max(lo);
+        &self.src[lo..hi]
+    }
+
+    /// Lines of code: non-blank, non-comment-only lines. The throughput
+    /// denominator E13 publishes.
+    pub fn loc(&self) -> usize {
+        self.src
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//") && !t.starts_with('*') && !t.starts_with("/*")
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_arithmetic() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(a.to_string(), "3..7");
+    }
+
+    #[test]
+    fn line_col_conversion() {
+        let sm = SourceMap::new("T.java", "ab\ncde\n\nf");
+        assert_eq!(sm.line_col(0), (1, 1));
+        assert_eq!(sm.line_col(1), (1, 2));
+        assert_eq!(sm.line_col(3), (2, 1));
+        assert_eq!(sm.line_col(5), (2, 3));
+        assert_eq!(sm.line_col(7), (3, 1));
+        assert_eq!(sm.line_col(8), (4, 1));
+        assert_eq!(sm.line_count(), 4);
+    }
+
+    #[test]
+    fn line_text_strips_newline() {
+        let sm = SourceMap::new("T.java", "ab\r\ncde\n");
+        assert_eq!(sm.line_text(1), "ab");
+        assert_eq!(sm.line_text(2), "cde");
+        assert_eq!(sm.line_text(99), "");
+    }
+
+    #[test]
+    fn snippet_clamps_to_text() {
+        let sm = SourceMap::new("T.java", "hello");
+        assert_eq!(sm.snippet(Span::new(1, 4)), "ell");
+        assert_eq!(sm.snippet(Span::new(3, 99)), "lo");
+    }
+
+    #[test]
+    fn loc_skips_blank_and_comment_lines() {
+        let sm = SourceMap::new(
+            "T.java",
+            "// header\nclass A {\n\n  /* doc */\n  int x;\n}\n",
+        );
+        assert_eq!(sm.loc(), 3);
+    }
+}

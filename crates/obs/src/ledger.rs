@@ -574,6 +574,60 @@ mod tests {
         assert_eq!(diff_reports(&base, &tiny).regressions.len(), 0);
     }
 
+    /// A report shaped like the E13 Java-frontend bench writes it:
+    /// corpus census keys plus the `java_loc_per_sec` full-pipeline
+    /// throughput figure (and the always-present `states_per_sec`, 0 for
+    /// a bench that explores nothing).
+    fn e13_report(loc_per_sec: f64) -> RunReport {
+        let reg = Registry::new();
+        reg.counter("analyze.components").add(720);
+        reg.counter("analyze.diagnostics").add(630);
+        let mut r = RunReport::from_registry("e13_java_frontend", ObsLevel::Summary, 0.02, &reg);
+        r.set_derived("java_loc_per_sec", loc_per_sec);
+        r.set_derived("java_files", 16.0);
+        r.set_derived("java_loc", 305.0);
+        r.set_derived("java_findings_total", 14.0);
+        r.set_derived("java_high_findings_clean", 0.0);
+        r.set_derived("states_per_sec", 0.0);
+        r
+    }
+
+    #[test]
+    fn e13_report_self_diffs_clean_and_roundtrips() {
+        let r = e13_report(800_000.0);
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r, "BENCH_e13.json round-trips losslessly");
+        let ledger = Ledger::from_reports(&[back, r]);
+        assert_eq!(ledger.regression_count(), 0, "self-diff is the CI smoke");
+        let derived_names: Vec<&str> = ledger.entries[0]
+            .derived
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        for key in ["java_loc_per_sec", "java_files", "java_loc", "java_findings_total"] {
+            assert!(derived_names.contains(&key), "missing {key} in {derived_names:?}");
+        }
+    }
+
+    #[test]
+    fn e13_loc_throughput_drop_fires_the_per_sec_rule() {
+        // `java_loc_per_sec` ends in `_per_sec`, so the generic throughput
+        // floor covers the Java frontend with no ledger changes — the same
+        // 0.8x rule the CI perf guard applies against the e13 baseline.
+        let base = e13_report(800_000.0);
+        let ok = diff_reports(&base, &e13_report(700_000.0));
+        assert_eq!(ok.regressions.len(), 0, "within floor: {:?}", ok.regressions);
+        let e = diff_reports(&base, &e13_report(500_000.0));
+        assert_eq!(e.regressions.len(), 1, "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("java_loc_per_sec"), "{:?}", e.regressions);
+        // The census keys are not throughput keys and must stay quiet even
+        // when they move.
+        let mut fewer = e13_report(800_000.0);
+        fewer.derived.insert("java_findings_total".into(), 9.0);
+        fewer.derived.insert("java_loc".into(), 250.0);
+        assert_eq!(diff_reports(&base, &fewer).regressions.len(), 0);
+    }
+
     #[test]
     fn ledger_json_is_deterministic_and_tagged() {
         let a = report(1000, 450_000.0, Some(60.0));

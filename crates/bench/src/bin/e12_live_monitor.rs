@@ -306,9 +306,9 @@ fn main() {
         .snapshot();
     if latency.count > 0 {
         let (p50, p90, p99) = (
-            latency.percentile(50.0),
-            latency.percentile(90.0),
-            latency.percentile(99.0),
+            latency.percentile(50.0).unwrap_or(0),
+            latency.percentile(90.0).unwrap_or(0),
+            latency.percentile(99.0).unwrap_or(0),
         );
         say!("capture latency (ns, log2 buckets): p50 {p50}, p90 {p90}, p99 {p99}");
         reporter.set_derived("capture_latency_p50_ns", p50 as f64);

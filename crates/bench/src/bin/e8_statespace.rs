@@ -396,9 +396,9 @@ fn main() {
             .histogram("runtime.capture.latency_ns")
             .snapshot();
         let (p50, p90, p99) = (
-            snap.percentile(50.0),
-            snap.percentile(90.0),
-            snap.percentile(99.0),
+            snap.percentile(50.0).unwrap_or(0),
+            snap.percentile(90.0).unwrap_or(0),
+            snap.percentile(99.0).unwrap_or(0),
         );
         say!(
             "\n--- capture latency (100k events, {} samples, log2 buckets) ---\n\

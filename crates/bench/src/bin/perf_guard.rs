@@ -18,11 +18,15 @@
 //! * **Coverage** — when the baseline carries `arc_coverage_pct`, the
 //!   current run may lose at most [`COVERAGE_EPSILON`] points and must not
 //!   lose the figure. Coverage is a correctness signal, not a timing.
-//! * **Capture overhead** — when the baseline carries
-//!   `max_capture_overhead_pct` (an absolute budget, not a measured
-//!   figure), the current run's `capture_overhead_pct` must not exceed
-//!   it. The e12 budget is 5%: an always-on monitor that costs more than
-//!   that is not always-on in practice.
+//! * **Overhead budgets** — when the baseline carries
+//!   `max_capture_overhead_pct` or `max_introspection_overhead_pct` (an
+//!   absolute budget, not a measured figure), the current run's
+//!   `capture_overhead_pct` / `introspection_overhead_pct` must not
+//!   exceed it. The e12 capture budget is 5%: an always-on monitor that
+//!   costs more than that is not always-on in practice. The e14
+//!   introspection budget is also 5%: the live span tree + profiler +
+//!   heartbeat stack must stay cheap enough to leave on during real
+//!   exploration runs.
 //!
 //! The throughput comparison is deliberately one-sided: runs *faster*
 //! than baseline always pass, and the baseline is only ratcheted up by
@@ -58,6 +62,34 @@ const THROUGHPUT_KEYS: &[&str] = &[
     "reduction_equiv_states_per_sec",
     "java_loc_per_sec",
 ];
+
+/// Absolute overhead budgets: when the baseline carries the first key (a
+/// cap, set by hand), the run report's second key (a measured figure) must
+/// stay at or below it.
+const OVERHEAD_BUDGETS: &[(&str, &str)] = &[
+    ("max_capture_overhead_pct", "capture_overhead_pct"),
+    ("max_introspection_overhead_pct", "introspection_overhead_pct"),
+];
+
+/// Gate one overhead budget the baseline declares. Returns `true` on
+/// failure.
+fn gate_budget(budget_key: &str, current_key: &str, current: Option<f64>, budget: f64) -> bool {
+    let Some(overhead) = current else {
+        eprintln!(
+            "perf_guard: FAIL — baseline budgets {budget_key} ({budget:.1}%) but the run \
+             report has no {current_key} figure"
+        );
+        return true;
+    };
+    println!("perf_guard: {current_key} current {overhead:.2} vs budget {budget:.1}");
+    if overhead > budget {
+        eprintln!(
+            "perf_guard: FAIL — {current_key} {overhead:.2}% exceeds the {budget:.1}% budget"
+        );
+        return true;
+    }
+    false
+}
 
 /// Extract the value of the exact quoted key `"{key}"` from a JSON
 /// document with a quoted-token scan.
@@ -171,29 +203,16 @@ fn main() -> ExitCode {
         }
     }
 
-    // Capture-overhead budget: only when the baseline sets one.
-    if let Some(budget) = quoted_number(&baseline_text, "max_capture_overhead_pct") {
-        match quoted_number(&current_text, "capture_overhead_pct") {
-            None => {
-                eprintln!(
-                    "perf_guard: FAIL — baseline budgets capture overhead ({budget:.1}%) but \
-                     the run report has no capture_overhead_pct figure"
-                );
-                failed = true;
-            }
-            Some(overhead) => {
-                println!(
-                    "perf_guard: capture_overhead_pct current {overhead:.2} vs budget \
-                     {budget:.1}"
-                );
-                if overhead > budget {
-                    eprintln!(
-                        "perf_guard: FAIL — capture overhead {overhead:.2}% exceeds the \
-                         {budget:.1}% budget"
-                    );
-                    failed = true;
-                }
-            }
+    // Overhead budgets: only when the baseline sets one. Each budget key
+    // (an absolute cap) gates the matching measured figure.
+    for (budget_key, current_key) in OVERHEAD_BUDGETS {
+        if let Some(budget) = quoted_number(&baseline_text, budget_key) {
+            failed |= gate_budget(
+                budget_key,
+                current_key,
+                quoted_number(&current_text, current_key),
+                budget,
+            );
         }
     }
 
@@ -264,6 +283,39 @@ mod tests {
         // One-sided like every throughput gate: a deeper reduction passes.
         assert!(!gate_throughput("reduction_factor", Some(200.0), 120.0, "r"));
         assert!(gate_throughput("reduction_factor", Some(90.0), 120.0, "r"));
+    }
+
+    #[test]
+    fn overhead_budgets_gate_both_capture_and_introspection() {
+        // Under or at budget passes; over budget or a lost figure fails.
+        assert!(!gate_budget(
+            "max_introspection_overhead_pct",
+            "introspection_overhead_pct",
+            Some(3.2),
+            5.0
+        ));
+        assert!(!gate_budget(
+            "max_introspection_overhead_pct",
+            "introspection_overhead_pct",
+            Some(5.0),
+            5.0
+        ));
+        assert!(gate_budget(
+            "max_introspection_overhead_pct",
+            "introspection_overhead_pct",
+            Some(5.1),
+            5.0
+        ));
+        assert!(gate_budget(
+            "max_introspection_overhead_pct",
+            "introspection_overhead_pct",
+            None,
+            5.0
+        ));
+        // The e14 pair is registered alongside the e12 one.
+        assert!(OVERHEAD_BUDGETS
+            .contains(&("max_introspection_overhead_pct", "introspection_overhead_pct")));
+        assert!(OVERHEAD_BUDGETS.contains(&("max_capture_overhead_pct", "capture_overhead_pct")));
     }
 
     #[test]

@@ -1,32 +1,60 @@
-//! `jcc` — the command-line linter over the Java-subset frontend.
+//! `jcc` — the command-line linter and live profiler.
 //!
 //! ```text
-//! jcc check [--deny=high|medium|low] [--format=text|json] <paths...>
+//! jcc check   [--deny=high|medium|low] [--format=text|json] [--obs-out=DIR] <paths...>
+//! jcc profile [--threads=K] [--interval-ms=MS] [--expose=PORT] [--obs-out=DIR] <scenario>
 //! ```
 //!
-//! Paths may be `.java` files or directories (searched recursively,
-//! sorted). Exit codes: 0 = clean at the deny threshold, 1 = findings at
-//! or above the threshold, 2 = parse/lower error (or bad usage).
+//! `check` lints real Java sources; paths may be `.java` files or
+//! directories (searched recursively, sorted). Exit codes: 0 = clean at
+//! the deny threshold, 1 = findings at or above the threshold, 2 =
+//! parse/lower error (or bad usage). With `--obs-out=DIR` the run records
+//! at `trace` level and writes a `RunReport` plus a Chrome trace of the
+//! span stream into the directory.
+//!
+//! `profile` runs a named exploration scenario with the full live
+//! introspection stack on — hierarchical span tree, sampling profiler,
+//! progress heartbeats (a `top`-style one-line refresh on stderr), and
+//! optionally the Prometheus metrics endpoint — then prints the flame
+//! table and span tree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use jcc_analyze::Severity;
 use jcc_javasrc::check::{check_paths, CheckOptions, Format};
 
 const USAGE: &str = "\
-usage: jcc check [--deny=high|medium|low] [--format=text|json] <paths...>
+usage: jcc check [--deny=high|medium|low] [--format=text|json] [--obs-out=DIR] <paths...>
+       jcc profile [--threads=K] [--interval-ms=MS] [--expose=PORT] [--obs-out=DIR] <scenario>
 
-Lints Java sources with the jcc static concurrency analyzer.
+check: lint Java sources with the jcc static concurrency analyzer.
 Paths may be .java files or directories (searched recursively).
+--obs-out=DIR records the run at trace level and writes a RunReport
+(check_report.json) and a Chrome trace (check_trace.json) into DIR.
 
 exit codes:
   0  every file parsed and no finding reached the --deny threshold
   1  at least one finding at or above the threshold (default: high)
   2  a file failed to parse or lower, or the command line was invalid
+
+profile: run a scenario with live introspection (span tree, sampling
+profiler, progress heartbeats, optional metrics endpoint).
+
+scenarios:
+  javanet[:N]            petri reachability of the N-thread Figure-1 net (default N=6)
+  producer-consumer[:C]  VM schedule exploration with C consumers (default C=3)
+
+  --threads=K       parallel reachability with K workers (javanet only)
+  --interval-ms=MS  heartbeat refresh interval (default 200)
+  --expose=PORT     serve Prometheus metrics on 127.0.0.1:PORT during the run
+  --obs-out=DIR     write profile_report.json, profile_flame.txt and
+                    profile_flame_trace.json into DIR
 ";
 
 fn main() -> ExitCode {
@@ -44,17 +72,21 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<u8, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
-        Some("check") => {}
+        Some("check") => cmd_check(it),
+        Some("profile") => cmd_profile(it),
         Some("--help") | Some("-h") => {
             print!("{USAGE}");
-            return Ok(0);
+            Ok(0)
         }
-        Some(other) => return Err(format!("unknown command `{other}`")),
-        None => return Err("missing command".to_string()),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".to_string()),
     }
+}
 
+fn cmd_check<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<u8, String> {
     let mut opts = CheckOptions::default();
     let mut paths = Vec::new();
+    let mut obs_out: Option<PathBuf> = None;
     for arg in it {
         if let Some(v) = arg.strip_prefix("--deny=") {
             opts.deny = match v {
@@ -69,6 +101,8 @@ fn run(args: &[String]) -> Result<u8, String> {
                 "json" => Format::Json,
                 _ => return Err(format!("invalid --format `{v}`")),
             };
+        } else if let Some(v) = arg.strip_prefix("--obs-out=") {
+            obs_out = Some(PathBuf::from(v));
         } else if arg == "--help" || arg == "-h" {
             print!("{USAGE}");
             return Ok(0);
@@ -82,23 +116,257 @@ fn run(args: &[String]) -> Result<u8, String> {
         return Err("no input paths".to_string());
     }
 
-    let outcome = check_paths(&paths, &opts).map_err(|e| e.to_string())?;
+    use jcc_core::obs;
+    if let Some(dir) = &obs_out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--obs-out: {e}"))?;
+        obs::set_level(obs::ObsLevel::Trace);
+        obs::global().reset();
+        obs::drain_trace();
+    }
+    let t0 = Instant::now();
+    let outcome = {
+        let _span = obs::span!("jcc.check");
+        check_paths(&paths, &opts).map_err(|e| e.to_string())?
+    };
     print!("{}", outcome.output);
+    let findings: usize = outcome
+        .files
+        .iter()
+        .flat_map(|f| f.reports.iter())
+        .map(|r| r.diagnostics.len())
+        .sum();
     if opts.format == Format::Text {
-        let n_files = outcome.files.len();
-        let findings: usize = outcome
-            .files
-            .iter()
-            .flat_map(|f| f.reports.iter())
-            .map(|r| r.diagnostics.len())
-            .sum();
         println!(
-            "checked {n_files} file(s), {} LOC: {findings} finding(s), {} at or above --deny={}, {} frontend error(s)",
+            "checked {} file(s), {} LOC: {findings} finding(s), {} at or above --deny={}, {} frontend error(s)",
+            outcome.files.len(),
             outcome.loc,
             outcome.denied_findings,
             opts.deny.name(),
             outcome.front_errors,
         );
     }
+    if let Some(dir) = obs_out {
+        let wall = t0.elapsed().as_secs_f64();
+        let reg = obs::global();
+        reg.counter("check.files").add(outcome.files.len() as u64);
+        reg.counter("check.loc").add(outcome.loc as u64);
+        reg.counter("check.findings").add(findings as u64);
+        reg.counter("check.front_errors")
+            .add(outcome.front_errors as u64);
+        let (records, _dropped) = obs::drain_trace();
+        let report = obs::RunReport::from_registry("jcc_check", obs::ObsLevel::Trace, wall, reg);
+        let report_path = dir.join("check_report.json");
+        report
+            .write_to(&report_path)
+            .map_err(|e| format!("--obs-out: {e}"))?;
+        let trace_path = dir.join("check_trace.json");
+        std::fs::write(&trace_path, obs::trace::to_chrome_string(&records))
+            .map_err(|e| format!("--obs-out: {e}"))?;
+        obs::set_level(obs::ObsLevel::Off);
+        eprintln!(
+            "obs: report written to {}, chrome trace to {}",
+            report_path.display(),
+            trace_path.display()
+        );
+    }
     Ok(outcome.exit_code() as u8)
+}
+
+/// What `jcc profile` ran and found, for the closing summary.
+struct ScenarioOutcome {
+    what: String,
+    states: u64,
+}
+
+fn run_scenario(scenario: &str, threads: usize) -> Result<ScenarioOutcome, String> {
+    use jcc_core::petri::{JavaNet, Parallelism, ReachGraph, ReachLimits};
+    use jcc_core::vm::{compile, explore, CallSpec, ExploreConfig, ThreadSpec, Value, Vm};
+
+    let (name, param) = match scenario.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (scenario, None),
+    };
+    match name {
+        "javanet" => {
+            let n: usize = match param {
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{p}` in `{scenario}`"))?,
+                None => 6,
+            };
+            let parallelism = if threads > 1 {
+                Parallelism::with_threads(threads)
+            } else {
+                Parallelism::sequential()
+            };
+            let j = JavaNet::new(n);
+            let g = ReachGraph::explore(
+                j.net(),
+                ReachLimits {
+                    parallelism,
+                    ..ReachLimits::default()
+                },
+            );
+            Ok(ScenarioOutcome {
+                what: format!(
+                    "petri reachability, JavaNet({n}): {} states, {} edges, {} dead",
+                    g.stats().states,
+                    g.stats().edges,
+                    g.dead_states().len()
+                ),
+                states: g.stats().states as u64,
+            })
+        }
+        "producer-consumer" | "pc" => {
+            let consumers: usize = match param {
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| format!("invalid consumer count `{p}` in `{scenario}`"))?,
+                None => 3,
+            };
+            let component = jcc_core::model::examples::producer_consumer();
+            let compiled = compile(&component).map_err(|e| format!("compile: {e:?}"))?;
+            let mut specs = vec![ThreadSpec {
+                name: "p".into(),
+                calls: vec![CallSpec::new(
+                    "send",
+                    vec![Value::Str("x".repeat(consumers))],
+                )],
+            }];
+            for i in 0..consumers {
+                specs.push(ThreadSpec {
+                    name: format!("c{i}"),
+                    calls: vec![CallSpec::new("receive", vec![])],
+                });
+            }
+            let vm = Vm::new(compiled, specs);
+            let r = explore(vm, &ExploreConfig::default(), None);
+            Ok(ScenarioOutcome {
+                what: format!(
+                    "VM exploration, producer-consumer x{consumers}: {} states, {} transitions, \
+                     {} completed, {} deadlocked",
+                    r.states, r.transitions, r.completed_paths, r.deadlock_paths
+                ),
+                states: r.states as u64,
+            })
+        }
+        other => Err(format!(
+            "unknown scenario `{other}` (try `javanet:6` or `producer-consumer:3`)"
+        )),
+    }
+}
+
+fn cmd_profile<'a, I: Iterator<Item = &'a String>>(it: I) -> Result<u8, String> {
+    let mut threads = 1usize;
+    let mut interval_ms = 200u64;
+    let mut expose: Option<u16> = None;
+    let mut obs_out: Option<PathBuf> = None;
+    let mut scenario: Option<String> = None;
+    for arg in it {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v
+                .parse()
+                .map_err(|_| format!("invalid --threads `{v}`"))?;
+        } else if let Some(v) = arg.strip_prefix("--interval-ms=") {
+            interval_ms = v
+                .parse()
+                .map_err(|_| format!("invalid --interval-ms `{v}`"))?;
+        } else if let Some(v) = arg.strip_prefix("--expose=") {
+            expose = Some(v.parse().map_err(|_| format!("invalid --expose port `{v}`"))?);
+        } else if let Some(v) = arg.strip_prefix("--obs-out=") {
+            obs_out = Some(PathBuf::from(v));
+        } else if arg == "--help" || arg == "-h" {
+            print!("{USAGE}");
+            return Ok(0);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown option `{arg}`"));
+        } else if scenario.is_none() {
+            scenario = Some(arg.clone());
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    let scenario = scenario.ok_or_else(|| "missing scenario".to_string())?;
+    if let Some(dir) = &obs_out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--obs-out: {e}"))?;
+    }
+
+    use jcc_core::obs;
+    // The full live stack: summary metrics, span tree, progress cells,
+    // stack-mirroring sampler, heartbeat watcher, optional exposition.
+    obs::set_level(obs::ObsLevel::Summary);
+    obs::global().reset();
+    obs::SpanTree::reset();
+    obs::set_span_tree(true);
+    obs::set_progress(true);
+    let server = match expose {
+        Some(port) => {
+            let s = obs::ExposeServer::start(port).map_err(|e| format!("--expose: {e}"))?;
+            println!("metrics: http://{}/metrics", s.local_addr());
+            Some(s)
+        }
+        None => None,
+    };
+    let profiler = obs::Profiler::start(Duration::from_millis(5), 0x6a6363);
+    let heartbeat = obs::Heartbeat::start(Duration::from_millis(interval_ms.max(10)), |stats| {
+        // `top`-style single-line refresh; padded so a shorter line fully
+        // overwrites a longer one.
+        eprint!("\r{:<100}", stats.render_line());
+        let _ = std::io::stderr().flush();
+    });
+
+    let t0 = Instant::now();
+    let scenario_name = scenario.clone();
+    let worker = std::thread::Builder::new()
+        .name("jcc-profile-worker".to_string())
+        .spawn(move || {
+            let _reg = obs::register_thread("worker");
+            run_scenario(&scenario_name, threads)
+        })
+        .map_err(|e| format!("spawn worker: {e}"))?;
+    let outcome = worker.join().map_err(|_| "worker panicked".to_string())??;
+    let wall = t0.elapsed().as_secs_f64();
+
+    heartbeat.stop();
+    eprintln!();
+    let profile = profiler.stop();
+    obs::set_span_tree(false);
+    obs::set_progress(false);
+    let tree = obs::SpanTree::snapshot();
+
+    println!("{}", outcome.what);
+    println!(
+        "wall {wall:.3}s, {:.0} states/s, {} profiler samples",
+        outcome.states as f64 / wall.max(1e-9),
+        profile.total_samples
+    );
+    print!("{}", tree.render_ascii());
+    print!("{}", profile.render_flame_table());
+
+    if let Some(s) = &server {
+        let body = obs::fetch_metrics(s.local_addr()).map_err(|e| format!("--expose: {e}"))?;
+        let samples = body
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count();
+        println!("metrics endpoint served {samples} samples at shutdown");
+    }
+    if let Some(dir) = obs_out {
+        let report =
+            obs::RunReport::from_registry("jcc_profile", obs::ObsLevel::Summary, wall, obs::global());
+        report
+            .write_to(&dir.join("profile_report.json"))
+            .map_err(|e| format!("--obs-out: {e}"))?;
+        std::fs::write(dir.join("profile_flame.txt"), profile.render_flame_table())
+            .map_err(|e| format!("--obs-out: {e}"))?;
+        std::fs::write(
+            dir.join("profile_flame_trace.json"),
+            profile.to_chrome_string(),
+        )
+        .map_err(|e| format!("--obs-out: {e}"))?;
+        println!("obs: profile artifacts written to {}", dir.display());
+    }
+    drop(server);
+    obs::set_level(obs::ObsLevel::Off);
+    Ok(0)
 }

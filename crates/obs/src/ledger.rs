@@ -628,6 +628,96 @@ mod tests {
         assert_eq!(diff_reports(&base, &fewer).regressions.len(), 0);
     }
 
+    /// A report shaped like the E14 live-introspection bench writes it:
+    /// exploration throughput with the full live stack on, the
+    /// introspection overhead subtraction, and the heartbeat / profiler
+    /// activity rates.
+    fn e14_report(overhead_pct: f64, heartbeats_per_sec: f64) -> RunReport {
+        let reg = Registry::new();
+        reg.counter("petri.reach.states").add(2187);
+        reg.counter("live.heartbeat.count").add(12);
+        reg.counter("live.profiler.samples").add(40);
+        let mut r =
+            RunReport::from_registry("e14_live_introspection", ObsLevel::Summary, 1.5, &reg);
+        r.set_derived("states_per_sec", 80_000.0);
+        r.set_derived("introspection_overhead_pct", overhead_pct);
+        r.set_derived("introspection_noise_floor_pct", 0.1);
+        r.set_derived("heartbeats_per_sec", heartbeats_per_sec);
+        r.set_derived("profiler_samples_per_sec", 180.0);
+        r
+    }
+
+    #[test]
+    fn e14_report_self_diffs_clean_and_roundtrips() {
+        let r = e14_report(1.8, 8.0);
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r, "BENCH_e14.json round-trips losslessly");
+        let ledger = Ledger::from_reports(&[back, r]);
+        assert_eq!(ledger.regression_count(), 0, "self-diff is the CI smoke");
+        let derived_names: Vec<&str> = ledger.entries[0]
+            .derived
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        for key in [
+            "introspection_overhead_pct",
+            "heartbeats_per_sec",
+            "profiler_samples_per_sec",
+        ] {
+            assert!(derived_names.contains(&key), "missing {key} in {derived_names:?}");
+        }
+    }
+
+    #[test]
+    fn e14_heartbeat_rate_drop_fires_the_per_sec_rule() {
+        // `heartbeats_per_sec` and `profiler_samples_per_sec` end in
+        // `_per_sec`, so the generic throughput floor covers the live
+        // stack's activity rates with no ledger changes.
+        let base = e14_report(1.8, 8.0);
+        let ok = diff_reports(&base, &e14_report(1.8, 7.0));
+        assert_eq!(ok.regressions.len(), 0, "within floor: {:?}", ok.regressions);
+        let e = diff_reports(&base, &e14_report(1.8, 2.0));
+        assert_eq!(e.regressions.len(), 1, "{:?}", e.regressions);
+        assert!(e.regressions[0].contains("heartbeats_per_sec"), "{:?}", e.regressions);
+    }
+
+    #[test]
+    fn e14_overhead_is_budgeted_by_perf_guard_not_the_ledger() {
+        // `introspection_overhead_pct` is neither a coverage nor a drop
+        // key: the ledger records the movement but never flags it — the
+        // absolute 5% budget lives in the CI perf guard
+        // (`max_introspection_overhead_pct`), where a cap belongs.
+        let base = e14_report(0.5, 8.0);
+        let worse = e14_report(4.9, 8.0);
+        let e = diff_reports(&base, &worse);
+        assert_eq!(e.regressions.len(), 0, "{:?}", e.regressions);
+        assert!(e
+            .derived
+            .iter()
+            .any(|d| d.name == "introspection_overhead_pct" && d.current == Some(4.9)));
+    }
+
+    #[test]
+    fn older_reports_without_e14_keys_still_diff() {
+        // A pre-E14 report (no live-introspection keys) parses leniently
+        // and diffs against a new one without phantom regressions: the
+        // `_per_sec` rule only fires when both sides carry the key.
+        let old_text = {
+            let mut r = e14_report(1.8, 8.0);
+            r.derived.retain(|k, _| k == "states_per_sec");
+            r.to_json_string()
+        };
+        let old = RunReport::from_json_str(&old_text).expect("old-format report parses");
+        let e = diff_reports(&old, &e14_report(1.8, 8.0));
+        assert_eq!(e.regressions.len(), 0, "{:?}", e.regressions);
+        let appeared = e
+            .derived
+            .iter()
+            .filter(|d| d.base.is_none() && d.current.is_some())
+            .count();
+        assert_eq!(appeared, 4, "the four live-introspection keys appeared");
+    }
+
     #[test]
     fn ledger_json_is_deterministic_and_tagged() {
         let a = report(1000, 450_000.0, Some(60.0));

@@ -25,6 +25,13 @@
 //! * [`ledger`] — the cross-run regression ledger (`jcc-ledger/v1`):
 //!   pairwise diffs of [`RunReport`]s with throughput and arc-coverage
 //!   regression flags,
+//! * [`live`] — live introspection: the hierarchical [`SpanTree`], a
+//!   sampling [`Profiler`] over registered engine threads, and the
+//!   [`ProgressCell`]/[`Heartbeat`] pair that turns engine progress into
+//!   EWMA rates, ETAs and heartbeat events while a run is in flight,
+//! * [`expose`] — Prometheus text exposition of a registry
+//!   ([`render_prometheus`]) plus the minimal [`ExposeServer`] TCP
+//!   listener behind `--expose=PORT`,
 //! * [`bench`] — [`BenchReporter`], the front door for the `jcc-bench`
 //!   binaries: parses the shared `--quiet` / `JCC_OBS=off|summary|trace`
 //!   knob, times the run, and writes `BENCH_<bin>.json`.
@@ -56,9 +63,11 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod expose;
 pub mod json;
 pub mod ledger;
 pub mod level;
+pub mod live;
 pub mod metrics;
 pub mod report;
 pub mod span;
@@ -66,8 +75,14 @@ pub mod timeline;
 pub mod trace;
 
 pub use bench::{parse_knobs, BenchReporter};
+pub use expose::{fetch_metrics, render_prometheus, ExposeServer};
 pub use ledger::Ledger;
 pub use level::{enabled, level, set_level, trace_enabled, ObsLevel};
+pub use live::{
+    explore_progress, progress_enabled, reach_progress, register_thread, set_progress,
+    set_span_tree, Heartbeat, HeartbeatStats, ProfileReport, Profiler, ProgressCell,
+    ProgressSnapshot, SpanTree, SpanTreeSnapshot,
+};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use report::{PhaseReport, RunReport};
 pub use timeline::{Timeline, TimelineBuilder};

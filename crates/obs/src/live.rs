@@ -1,0 +1,911 @@
+//! Live introspection: hierarchical span trees, a sampling self-profiler,
+//! and progress heartbeats over the exploration engines.
+//!
+//! Everything here is *pull-only*: the engines publish monotonically into
+//! lock-free cells (or a thread-local span stack), and watcher threads
+//! read. Nothing feeds back into exploration, so enabling any of it
+//! changes no engine result — the same contract as the rest of the crate,
+//! re-asserted by `tests/obs_determinism.rs`. Every hook is one relaxed
+//! atomic load when the matching feature is off.
+//!
+//! Three independently-gated features:
+//!
+//! * **span tree** ([`set_span_tree`] / [`SpanTree`]) — every span drop
+//!   folds its wall-clock into a global tree keyed by the full stack of
+//!   enclosing span names, giving per-node total *and self* attribution,
+//! * **stack mirroring + profiler** ([`register_thread`] / [`Profiler`]) —
+//!   registered engine threads mirror their current span stack into a
+//!   shared slot; a dependency-free sampling thread snapshots all slots at
+//!   a seeded, jittered tick and aggregates an ASCII flame table (plus a
+//!   Chrome-trace rendering),
+//! * **progress cells** ([`set_progress`] / [`ProgressCell`]) —
+//!   `petri::reach` and `vm::explore` publish states/frontier/steals into
+//!   two global cells; a [`Heartbeat`] watcher drains them into EWMA
+//!   states/sec, an ETA against the exploration budget, heartbeat metrics
+//!   and a `jcc top`-style one-line rendering.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::global;
+
+// ---------------------------------------------------------------------------
+// Feature gates
+// ---------------------------------------------------------------------------
+
+const FLAG_TREE: u8 = 1;
+const FLAG_MIRROR: u8 = 2;
+const FLAG_PROGRESS: u8 = 4;
+
+/// The one word every hook checks. Off (0) means every live-introspection
+/// call site costs a single relaxed load.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+fn set_flag(bit: u8, on: bool) {
+    if on {
+        FLAGS.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
+
+/// True when span drops record into the global [`SpanTree`].
+#[inline]
+pub fn span_tree_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_TREE != 0
+}
+
+/// Turn [`SpanTree`] recording on or off (off by default).
+pub fn set_span_tree(on: bool) {
+    set_flag(FLAG_TREE, on);
+}
+
+/// True when registered threads mirror their span stack for the profiler.
+#[inline]
+pub fn stack_mirror_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_MIRROR != 0
+}
+
+pub(crate) fn set_stack_mirror(on: bool) {
+    set_flag(FLAG_MIRROR, on);
+}
+
+/// True when the engines publish into the global [`ProgressCell`]s.
+#[inline]
+pub fn progress_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_PROGRESS != 0
+}
+
+/// Turn engine progress publication on or off (off by default).
+pub fn set_progress(on: bool) {
+    set_flag(FLAG_PROGRESS, on);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical span tree
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeStat {
+    count: u64,
+    total_nanos: u64,
+}
+
+fn tree() -> &'static Mutex<BTreeMap<Vec<&'static str>, NodeStat>> {
+    static TREE: OnceLock<Mutex<BTreeMap<Vec<&'static str>, NodeStat>>> = OnceLock::new();
+    TREE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Called by the span guard on drop with the full enclosing stack
+/// (innermost last, including the closing span itself).
+pub(crate) fn record_tree(path: &[&'static str], nanos: u64) {
+    let mut t = tree().lock().expect("span tree");
+    let stat = t.entry(path.to_vec()).or_default();
+    stat.count += 1;
+    stat.total_nanos += nanos;
+}
+
+/// One node of a [`SpanTreeSnapshot`]: a unique stack of span names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTreeNode {
+    /// The stack of span names from the root, innermost last.
+    pub path: Vec<String>,
+    /// Completed occurrences of exactly this stack.
+    pub count: u64,
+    /// Wall-clock summed over occurrences, nanoseconds.
+    pub total_nanos: u64,
+    /// `total_nanos` minus the totals of direct children — time spent in
+    /// this node itself. Clamped at zero (children recorded while a parent
+    /// occurrence is still open can transiently exceed the parent).
+    pub self_nanos: u64,
+}
+
+/// A consistent copy of the global span tree; see [`SpanTree::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanTreeSnapshot {
+    /// Nodes in depth-first (path-lexicographic) order.
+    pub nodes: Vec<SpanTreeNode>,
+}
+
+/// Namespace for the global hierarchical span tree, populated by span
+/// drops while [`set_span_tree`] is on.
+#[derive(Debug)]
+pub struct SpanTree;
+
+impl SpanTree {
+    /// Clear the tree (typically paired with `Registry::reset`).
+    pub fn reset() {
+        tree().lock().expect("span tree").clear();
+    }
+
+    /// Copy the tree out, computing self-time per node.
+    pub fn snapshot() -> SpanTreeSnapshot {
+        let t = tree().lock().expect("span tree");
+        let entries: Vec<(Vec<&'static str>, NodeStat)> =
+            t.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        drop(t);
+        let nodes = entries
+            .iter()
+            .map(|(path, stat)| {
+                let child_total: u64 = entries
+                    .iter()
+                    .filter(|(p, _)| p.len() == path.len() + 1 && p.starts_with(path))
+                    .map(|(_, s)| s.total_nanos)
+                    .sum();
+                SpanTreeNode {
+                    path: path.iter().map(|s| s.to_string()).collect(),
+                    count: stat.count,
+                    total_nanos: stat.total_nanos,
+                    self_nanos: stat.total_nanos.saturating_sub(child_total),
+                }
+            })
+            .collect();
+        SpanTreeSnapshot { nodes }
+    }
+}
+
+impl SpanTreeSnapshot {
+    /// Render as an indented ASCII table: count, total, self per node.
+    pub fn render_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12} {:>6}  span tree",
+            "count", "total ms", "self ms", "self%"
+        );
+        for node in &self.nodes {
+            let indent = "  ".repeat(node.path.len().saturating_sub(1));
+            let name = node.path.last().map(String::as_str).unwrap_or("?");
+            let self_pct = if node.total_nanos == 0 {
+                0.0
+            } else {
+                node.self_nanos as f64 * 100.0 / node.total_nanos as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:>8} {:>12.3} {:>12.3} {:>5.1}%  {indent}{name}",
+                node.count,
+                node.total_nanos as f64 / 1e6,
+                node.self_nanos as f64 / 1e6,
+                self_pct,
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread registration + span-stack mirroring
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ThreadSlot {
+    name: String,
+    stack: Mutex<Vec<&'static str>>,
+    alive: AtomicBool,
+}
+
+fn slots() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static SLOTS: OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = OnceLock::new();
+    SLOTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_SLOT: RefCell<Option<Arc<ThreadSlot>>> = const { RefCell::new(None) };
+}
+
+/// RAII handle from [`register_thread`]; deregisters on drop.
+#[derive(Debug)]
+pub struct ThreadRegistration {
+    slot: Arc<ThreadSlot>,
+}
+
+/// Register the calling thread with the profiler under `name`. While a
+/// [`Profiler`] is running, the thread's current span stack is mirrored
+/// into a shared slot the sampler reads. Returns a guard; the thread is
+/// forgotten when it drops.
+pub fn register_thread(name: &str) -> ThreadRegistration {
+    let slot = Arc::new(ThreadSlot {
+        name: name.to_string(),
+        stack: Mutex::new(Vec::new()),
+        alive: AtomicBool::new(true),
+    });
+    slots().lock().expect("profiler slots").push(Arc::clone(&slot));
+    MY_SLOT.with(|m| *m.borrow_mut() = Some(Arc::clone(&slot)));
+    ThreadRegistration { slot }
+}
+
+impl Drop for ThreadRegistration {
+    fn drop(&mut self) {
+        self.slot.alive.store(false, Ordering::Relaxed);
+        slots()
+            .lock()
+            .expect("profiler slots")
+            .retain(|s| !Arc::ptr_eq(s, &self.slot));
+        MY_SLOT.with(|m| {
+            let clear = m
+                .borrow()
+                .as_ref()
+                .is_some_and(|s| Arc::ptr_eq(s, &self.slot));
+            if clear {
+                *m.borrow_mut() = None;
+            }
+        });
+    }
+}
+
+/// Called by the span guard after every stack change while mirroring is
+/// on: copy the thread's current stack into its slot (if registered).
+pub(crate) fn mirror_stack(stack: &[&'static str]) {
+    MY_SLOT.with(|m| {
+        if let Some(slot) = m.borrow().as_ref() {
+            *slot.stack.lock().expect("slot stack") = stack.to_vec();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler
+// ---------------------------------------------------------------------------
+
+/// Aggregated samples from one [`Profiler`] session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProfileReport {
+    /// The nominal tick, microseconds (samples jitter around it).
+    pub tick_micros: u64,
+    /// Total non-idle samples taken across all registered threads.
+    pub total_samples: u64,
+    /// `(thread name, span stack) -> sample count`, sorted.
+    pub samples: BTreeMap<(String, Vec<String>), u64>,
+}
+
+impl ProfileReport {
+    /// Render the aggregated samples as an ASCII flame table, hottest
+    /// stacks first (ties broken by key order for determinism).
+    pub fn render_flame_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "live profiler: {} samples over {} stacks (tick ~{}us)",
+            self.total_samples,
+            self.samples.len(),
+            self.tick_micros
+        );
+        let mut rows: Vec<(&(String, Vec<String>), &u64)> = self.samples.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        let _ = writeln!(out, "{:>8} {:>6}  {:<16} stack", "samples", "%", "thread");
+        for ((thread, stack), count) in rows {
+            let pct = *count as f64 * 100.0 / self.total_samples.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{count:>8} {pct:>5.1}%  {thread:<16} {}",
+                stack.join(" > ")
+            );
+        }
+        out
+    }
+
+    /// Render as a Chrome Trace Event Format document: each aggregated
+    /// stack becomes a run of nested `X` slices (one tick each) on its
+    /// thread's lane, so Perfetto shows a flame chart of where samples
+    /// landed.
+    pub fn to_chrome_string(&self) -> String {
+        use crate::json::Json;
+        let mut threads: Vec<&str> = self
+            .samples
+            .keys()
+            .map(|(t, _)| t.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        threads.sort_unstable();
+        let tid_of = |name: &str| threads.iter().position(|t| *t == name).unwrap_or(0) + 1;
+        let mut cursor: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut events = Vec::new();
+        let tick = self.tick_micros.max(1);
+        for ((thread, stack), count) in &self.samples {
+            let start = *cursor.entry(thread.as_str()).or_insert(0);
+            let dur = count * tick;
+            for name in stack {
+                events.push(Json::obj([
+                    ("name".to_string(), Json::Str(name.clone())),
+                    ("cat".to_string(), Json::Str("profile".to_string())),
+                    ("ph".to_string(), Json::Str("X".to_string())),
+                    ("ts".to_string(), Json::Num(start as f64)),
+                    ("dur".to_string(), Json::Num(dur as f64)),
+                    ("pid".to_string(), Json::Num(1.0)),
+                    (
+                        "tid".to_string(),
+                        Json::Num(tid_of(thread.as_str()) as f64),
+                    ),
+                ]));
+            }
+            cursor.insert(thread.as_str(), start + dur);
+        }
+        Json::obj([("traceEvents".to_string(), Json::Arr(events))]).to_string_compact()
+    }
+}
+
+/// A dependency-free sampling profiler: while running, snapshots the
+/// mirrored span stack of every [registered](register_thread) thread at a
+/// seeded, jittered tick and aggregates sample counts per stack.
+#[derive(Debug)]
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<ProfileReport>,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+impl Profiler {
+    /// Start sampling every ~`tick` (uniformly jittered in
+    /// `[tick/2, 3·tick/2)` from `seed`, so the sampler cannot phase-lock
+    /// with periodic work). Turns stack mirroring on for its lifetime.
+    pub fn start(tick: Duration, seed: u64) -> Profiler {
+        set_stack_mirror(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let tick_nanos = tick.as_nanos().max(1) as u64;
+        let handle = std::thread::Builder::new()
+            .name("jcc-obs-profiler".to_string())
+            .spawn(move || {
+                let mut rng = seed | 1;
+                let mut samples: BTreeMap<(String, Vec<String>), u64> = BTreeMap::new();
+                let mut total = 0u64;
+                while !stop2.load(Ordering::Relaxed) {
+                    let jitter = tick_nanos / 2 + lcg(&mut rng) % tick_nanos;
+                    std::thread::sleep(Duration::from_nanos(jitter));
+                    let snapshot: Vec<Arc<ThreadSlot>> =
+                        slots().lock().expect("profiler slots").clone();
+                    for slot in snapshot {
+                        if !slot.alive.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let stack = slot.stack.lock().expect("slot stack").clone();
+                        if stack.is_empty() {
+                            continue;
+                        }
+                        total += 1;
+                        let key = (
+                            slot.name.clone(),
+                            stack.iter().map(|s| s.to_string()).collect(),
+                        );
+                        *samples.entry(key).or_default() += 1;
+                    }
+                }
+                global().counter("live.profiler.samples").add(total);
+                ProfileReport {
+                    tick_micros: tick_nanos / 1_000,
+                    total_samples: total,
+                    samples,
+                }
+            })
+            .expect("spawn profiler thread");
+        Profiler { stop, handle }
+    }
+
+    /// Stop sampling, turn stack mirroring back off, and return the
+    /// aggregated report.
+    pub fn stop(self) -> ProfileReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let report = self.handle.join().expect("profiler thread");
+        set_stack_mirror(false);
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress cells
+// ---------------------------------------------------------------------------
+
+/// A lock-free progress mailbox one engine writes and watchers read. All
+/// fields are relaxed atomics: readers get a recent (not atomic-across-
+/// fields) view, which is all a heartbeat needs. Publication never feeds
+/// back into the engine.
+#[derive(Debug, Default)]
+pub struct ProgressCell {
+    epoch: AtomicU64,
+    states: AtomicU64,
+    frontier: AtomicU64,
+    depth: AtomicU64,
+    steals: AtomicU64,
+    saved: AtomicU64,
+    budget: AtomicU64,
+    done: AtomicU64,
+}
+
+/// One point-in-time read of a [`ProgressCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Bumped by every [`ProgressCell::begin`]; watchers reset their rate
+    /// tracking when it changes.
+    pub epoch: u64,
+    /// States interned/visited so far.
+    pub states: u64,
+    /// Frontier width (queued, unexpanded states).
+    pub frontier: u64,
+    /// Frontier cursor (BFS) or current recursion depth (DFS).
+    pub depth: u64,
+    /// Work-stealing events so far (parallel engines only).
+    pub steals: u64,
+    /// States pruned by ample-set/symmetry reduction so far.
+    pub saved: u64,
+    /// The exploration's state budget (`max_states`), 0 when unknown.
+    pub budget: u64,
+    /// True once the exploration finished.
+    pub done: bool,
+}
+
+impl ProgressCell {
+    /// A zeroed cell.
+    pub const fn new() -> ProgressCell {
+        ProgressCell {
+            epoch: AtomicU64::new(0),
+            states: AtomicU64::new(0),
+            frontier: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            saved: AtomicU64::new(0),
+            budget: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        }
+    }
+
+    /// Start a new exploration: zero the counters, record its budget and
+    /// bump the epoch.
+    pub fn begin(&self, budget: u64) {
+        self.states.store(0, Ordering::Relaxed);
+        self.frontier.store(0, Ordering::Relaxed);
+        self.depth.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.saved.store(0, Ordering::Relaxed);
+        self.budget.store(budget, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the current state count, frontier width and depth/cursor.
+    #[inline]
+    pub fn publish(&self, states: u64, frontier: u64, depth: u64) {
+        self.states.store(states, Ordering::Relaxed);
+        self.frontier.store(frontier, Ordering::Relaxed);
+        self.depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Publish the running steal total (parallel engines).
+    #[inline]
+    pub fn set_steals(&self, steals: u64) {
+        self.steals.store(steals, Ordering::Relaxed);
+    }
+
+    /// Bump the steal total (parallel workers that only know their own
+    /// deltas).
+    #[inline]
+    pub fn add_steals(&self, n: u64) {
+        self.steals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publish the running reduction-pruned total.
+    #[inline]
+    pub fn set_saved(&self, saved: u64) {
+        self.saved.store(saved, Ordering::Relaxed);
+    }
+
+    /// Mark the exploration finished with its final state count.
+    pub fn finish(&self, states: u64) {
+        self.states.store(states, Ordering::Relaxed);
+        self.frontier.store(0, Ordering::Relaxed);
+        self.done.store(1, Ordering::Relaxed);
+    }
+
+    /// Read the cell.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            states: self.states.load(Ordering::Relaxed),
+            frontier: self.frontier.load(Ordering::Relaxed),
+            depth: self.depth.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            saved: self.saved.load(Ordering::Relaxed),
+            budget: self.budget.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed) != 0,
+        }
+    }
+}
+
+/// The cell `petri::reach` publishes into (while [`progress_enabled`]).
+pub fn reach_progress() -> &'static ProgressCell {
+    static CELL: ProgressCell = ProgressCell::new();
+    &CELL
+}
+
+/// The cell `vm::explore` publishes into (while [`progress_enabled`]).
+pub fn explore_progress() -> &'static ProgressCell {
+    static CELL: ProgressCell = ProgressCell::new();
+    &CELL
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat watcher
+// ---------------------------------------------------------------------------
+
+/// One heartbeat observation of one engine, derived by the watcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatStats {
+    /// Which engine: `"reach"` or `"explore"`.
+    pub engine: &'static str,
+    /// The raw cell read this beat derives from.
+    pub snapshot: ProgressSnapshot,
+    /// Exponentially-weighted moving average of states/second.
+    pub states_per_sec: f64,
+    /// Estimated seconds until the state budget is exhausted (None when
+    /// done, budget-less, or the rate is still ~zero).
+    pub eta_seconds: Option<f64>,
+    /// Seconds since the watcher first saw this exploration epoch.
+    pub elapsed_seconds: f64,
+}
+
+impl HeartbeatStats {
+    /// The `jcc top`-style one-line rendering.
+    pub fn render_line(&self) -> String {
+        let s = &self.snapshot;
+        let mut line = format!(
+            "[{}] {} states",
+            self.engine,
+            s.states,
+        );
+        if s.budget > 0 {
+            line.push_str(&format!(
+                "/{} ({:.1}%)",
+                s.budget,
+                s.states as f64 * 100.0 / s.budget as f64
+            ));
+        }
+        line.push_str(&format!(" frontier {} depth {}", s.frontier, s.depth));
+        if s.steals > 0 {
+            line.push_str(&format!(" steals {}", s.steals));
+        }
+        if s.saved > 0 {
+            line.push_str(&format!(" pruned {}", s.saved));
+        }
+        line.push_str(&format!(" | {:.0} st/s", self.states_per_sec));
+        if s.done {
+            line.push_str(" | done");
+        } else if let Some(eta) = self.eta_seconds {
+            line.push_str(&format!(" | ETA {eta:.1}s"));
+        }
+        line
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RateTracker {
+    epoch: u64,
+    last_states: u64,
+    last_at: Instant,
+    started_at: Instant,
+    ewma: f64,
+    reported_done: bool,
+}
+
+/// EWMA smoothing factor for the heartbeat's states/sec estimate.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// A watcher thread that drains the global [`ProgressCell`]s every
+/// `interval` into heartbeat metrics (`live.heartbeat.count`,
+/// `live.<engine>.*` gauges), trace events, and a caller-supplied
+/// callback (the `jcc profile` one-line refresh).
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Heartbeat {
+    /// Start the watcher. `on_beat` runs on the watcher thread once per
+    /// active engine per tick.
+    pub fn start<F>(interval: Duration, mut on_beat: F) -> Heartbeat
+    where
+        F: FnMut(&HeartbeatStats) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("jcc-obs-heartbeat".to_string())
+            .spawn(move || {
+                let cells: [(&'static str, &'static ProgressCell); 2] = [
+                    ("reach", reach_progress()),
+                    ("explore", explore_progress()),
+                ];
+                let mut trackers: [Option<RateTracker>; 2] = [None, None];
+                loop {
+                    std::thread::sleep(interval);
+                    let stopping = stop2.load(Ordering::Relaxed);
+                    for (i, (engine, cell)) in cells.iter().enumerate() {
+                        let snap = cell.snapshot();
+                        if snap.epoch == 0 {
+                            continue; // engine never ran
+                        }
+                        let now = Instant::now();
+                        let tracker = match &mut trackers[i] {
+                            Some(t) if t.epoch == snap.epoch => t,
+                            slot => slot.insert(RateTracker {
+                                epoch: snap.epoch,
+                                last_states: 0,
+                                last_at: now,
+                                started_at: now,
+                                ewma: 0.0,
+                                reported_done: false,
+                            }),
+                        };
+                        if tracker.reported_done {
+                            continue;
+                        }
+                        // Floor the window at one interval: a tracker created
+                        // this very tick (or a stop()-triggered final drain
+                        // right after a regular one) would otherwise divide
+                        // by a near-zero dt and report a nonsense rate.
+                        let dt = now
+                            .duration_since(tracker.last_at)
+                            .as_secs_f64()
+                            .max(interval.as_secs_f64())
+                            .max(1e-9);
+                        let instant_rate =
+                            snap.states.saturating_sub(tracker.last_states) as f64 / dt;
+                        tracker.ewma = if tracker.last_states == 0 && tracker.ewma == 0.0 {
+                            instant_rate
+                        } else {
+                            EWMA_ALPHA * instant_rate + (1.0 - EWMA_ALPHA) * tracker.ewma
+                        };
+                        tracker.last_states = snap.states;
+                        tracker.last_at = now;
+                        if snap.done {
+                            tracker.reported_done = true;
+                        }
+                        let eta_seconds = if !snap.done
+                            && snap.budget > snap.states
+                            && tracker.ewma >= 1.0
+                        {
+                            Some((snap.budget - snap.states) as f64 / tracker.ewma)
+                        } else {
+                            None
+                        };
+                        let stats = HeartbeatStats {
+                            engine,
+                            snapshot: snap,
+                            states_per_sec: tracker.ewma,
+                            eta_seconds,
+                            elapsed_seconds: now
+                                .duration_since(tracker.started_at)
+                                .as_secs_f64(),
+                        };
+                        let reg = global();
+                        reg.counter("live.heartbeat.count").inc();
+                        reg.gauge(&format!("live.{engine}.states")).set(snap.states);
+                        reg.gauge(&format!("live.{engine}.frontier"))
+                            .set(snap.frontier);
+                        reg.gauge(&format!("live.{engine}.states_per_sec"))
+                            .set(tracker.ewma as u64);
+                        crate::event!(
+                            "heartbeat";
+                            "engine" => engine,
+                            "states" => snap.states,
+                            "frontier" => snap.frontier,
+                            "states_per_sec" => format!("{:.0}", tracker.ewma),
+                            "done" => snap.done
+                        );
+                        on_beat(&stats);
+                    }
+                    if stopping {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat { stop, handle }
+    }
+
+    /// Stop the watcher after one final drain (so a finished exploration's
+    /// terminal state is always reported).
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, ObsLevel};
+    use crate::span::tests::level_lock;
+    use crate::span_enter;
+
+    #[test]
+    fn span_tree_attributes_self_and_total() {
+        let _guard = level_lock().lock().unwrap();
+        set_level(ObsLevel::Summary);
+        SpanTree::reset();
+        set_span_tree(true);
+        {
+            let _outer = span_enter("tree_outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span_enter("tree_inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        set_span_tree(false);
+        set_level(ObsLevel::Off);
+        let snap = SpanTree::snapshot();
+        let outer = snap
+            .nodes
+            .iter()
+            .find(|n| n.path == ["tree_outer"])
+            .expect("outer node");
+        let inner = snap
+            .nodes
+            .iter()
+            .find(|n| n.path == ["tree_outer", "tree_inner"])
+            .expect("inner node");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_nanos >= inner.total_nanos);
+        assert!(
+            outer.self_nanos <= outer.total_nanos - inner.total_nanos + 1,
+            "self excludes the child: {} vs {}",
+            outer.self_nanos,
+            outer.total_nanos
+        );
+        assert_eq!(inner.self_nanos, inner.total_nanos, "leaf is all self");
+        let table = snap.render_ascii();
+        assert!(table.contains("tree_outer"), "{table}");
+        assert!(table.contains("  tree_inner"), "{table}");
+    }
+
+    #[test]
+    fn span_tree_off_records_nothing() {
+        let _guard = level_lock().lock().unwrap();
+        set_level(ObsLevel::Summary);
+        SpanTree::reset();
+        {
+            let _s = span_enter("untracked");
+        }
+        set_level(ObsLevel::Off);
+        assert!(SpanTree::snapshot().nodes.is_empty());
+    }
+
+    #[test]
+    fn profiler_samples_registered_thread_stacks() {
+        let _guard = level_lock().lock().unwrap();
+        set_level(ObsLevel::Summary);
+        let profiler = Profiler::start(Duration::from_micros(200), 42);
+        let worker = std::thread::spawn(|| {
+            let _reg = register_thread("busy-worker");
+            let _span = span_enter("busy_phase");
+            std::thread::sleep(Duration::from_millis(30));
+        });
+        worker.join().unwrap();
+        let report = profiler.stop();
+        set_level(ObsLevel::Off);
+        assert!(report.total_samples > 0, "sampler saw the busy thread");
+        let key = ("busy-worker".to_string(), vec!["busy_phase".to_string()]);
+        assert!(
+            report.samples.contains_key(&key),
+            "expected busy_phase stack in {:?}",
+            report.samples.keys().collect::<Vec<_>>()
+        );
+        let table = report.render_flame_table();
+        assert!(table.contains("busy-worker"), "{table}");
+        assert!(table.contains("busy_phase"), "{table}");
+        let chrome = report.to_chrome_string();
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+        assert!(chrome.contains("busy_phase"), "{chrome}");
+        assert!(
+            !stack_mirror_enabled(),
+            "profiler stop turns mirroring back off"
+        );
+    }
+
+    #[test]
+    fn progress_cell_lifecycle_and_heartbeat() {
+        let _guard = level_lock().lock().unwrap();
+        set_level(ObsLevel::Summary);
+        let cell = reach_progress();
+        cell.begin(1_000);
+        cell.publish(100, 40, 7);
+        cell.set_steals(3);
+        let beats: Arc<Mutex<Vec<HeartbeatStats>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&beats);
+        let hb = Heartbeat::start(Duration::from_millis(5), move |s| {
+            sink.lock().unwrap().push(s.clone());
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        cell.publish(600, 10, 9);
+        std::thread::sleep(Duration::from_millis(40));
+        cell.finish(1_000);
+        std::thread::sleep(Duration::from_millis(20));
+        hb.stop();
+        set_level(ObsLevel::Off);
+        let beats = beats.lock().unwrap();
+        let reach_beats: Vec<_> = beats.iter().filter(|b| b.engine == "reach").collect();
+        assert!(!reach_beats.is_empty(), "watcher saw the reach cell");
+        assert!(
+            reach_beats.iter().any(|b| b.states_per_sec > 0.0),
+            "rate estimated"
+        );
+        let last = reach_beats.last().unwrap();
+        assert!(last.snapshot.done, "final drain reports completion");
+        assert_eq!(last.snapshot.states, 1_000);
+        let line = last.render_line();
+        assert!(line.contains("[reach]"), "{line}");
+        assert!(line.contains("done"), "{line}");
+        let mid = reach_beats.iter().find(|b| !b.snapshot.done);
+        if let Some(mid) = mid {
+            let line = mid.render_line();
+            assert!(line.contains("states"), "{line}");
+        }
+    }
+
+    #[test]
+    fn progress_gate_defaults_off() {
+        // Other tests may toggle progress; this only asserts the flag API.
+        set_progress(true);
+        assert!(progress_enabled());
+        set_progress(false);
+        assert!(!progress_enabled());
+    }
+
+    #[test]
+    fn heartbeat_eta_tracks_budget() {
+        let snap = ProgressSnapshot {
+            epoch: 1,
+            states: 500,
+            frontier: 10,
+            depth: 3,
+            steals: 0,
+            saved: 0,
+            budget: 1_000,
+            done: false,
+        };
+        let stats = HeartbeatStats {
+            engine: "reach",
+            snapshot: snap,
+            states_per_sec: 250.0,
+            eta_seconds: Some(2.0),
+            elapsed_seconds: 2.0,
+        };
+        let line = stats.render_line();
+        assert!(line.contains("50.0%"), "{line}");
+        assert!(line.contains("ETA 2.0s"), "{line}");
+    }
+}

@@ -105,21 +105,23 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// Approximate p-th percentile (0–100) of the recorded values: the
     /// lower bound of the log2 bucket holding that rank, clamped to the
-    /// exact observed `[min, max]` range. Zero when the histogram is
-    /// empty. Deterministic — a pure function of the snapshot.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// exact observed `[min, max]` range. `None` when the histogram is
+    /// empty (there is no value to estimate — callers that need a number
+    /// pick their own sentinel). Deterministic — a pure function of the
+    /// snapshot.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = (self.count as f64 * p / 100.0).ceil().max(1.0) as u64;
         let mut seen = 0;
         for &(bucket, n) in &self.buckets {
             seen += n;
             if seen >= rank {
-                return Histogram::bucket_floor(bucket).clamp(self.min, self.max);
+                return Some(Histogram::bucket_floor(bucket).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 }
 
@@ -369,20 +371,28 @@ mod tests {
             h.record(v);
         }
         let snap = h.snapshot();
-        let p50 = snap.percentile(50.0);
-        let p90 = snap.percentile(90.0);
-        let p99 = snap.percentile(99.0);
+        let p50 = snap.percentile(50.0).unwrap();
+        let p90 = snap.percentile(90.0).unwrap();
+        let p99 = snap.percentile(99.0).unwrap();
         // Log2 buckets: the estimate is the floor of the rank's bucket,
         // clamped to the observed range — monotone and within bounds.
         assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
         assert!((snap.min..=snap.max).contains(&p50));
         assert!((snap.min..=snap.max).contains(&p99));
-        assert!(snap.percentile(100.0) <= snap.max);
+        assert!(snap.percentile(100.0).unwrap() <= snap.max);
 
         let single = Histogram::default();
         single.record(42);
-        assert_eq!(single.snapshot().percentile(50.0), 42, "clamped to min");
-        assert_eq!(Histogram::default().snapshot().percentile(50.0), 0);
+        assert_eq!(
+            single.snapshot().percentile(50.0),
+            Some(42),
+            "clamped to min"
+        );
+        assert_eq!(
+            Histogram::default().snapshot().percentile(50.0),
+            None,
+            "empty histogram has no percentile, not a garbage midpoint"
+        );
     }
 
     #[test]

@@ -50,9 +50,9 @@ impl PhaseReport {
             total_seconds: snap.sum as f64 / 1e9,
             min_nanos: snap.min,
             max_nanos: snap.max,
-            p50_nanos: snap.percentile(50.0),
-            p90_nanos: snap.percentile(90.0),
-            p99_nanos: snap.percentile(99.0),
+            p50_nanos: snap.percentile(50.0).unwrap_or(0),
+            p90_nanos: snap.percentile(90.0).unwrap_or(0),
+            p99_nanos: snap.percentile(99.0).unwrap_or(0),
             buckets: snap.buckets.clone(),
         }
     }
@@ -264,7 +264,8 @@ impl RunReport {
                     let fallback = |key: &str, p_val: f64, snap: &HistogramSnapshot| {
                         p.get(key)
                             .and_then(Json::as_u64)
-                            .unwrap_or_else(|| snap.percentile(p_val))
+                            .or_else(|| snap.percentile(p_val))
+                            .unwrap_or(0)
                     };
                     let snap = report.as_snapshot();
                     report.p50_nanos = fallback("p50_nanos", 50.0, &snap);
@@ -357,9 +358,10 @@ impl RunReport {
     }
 
     /// Approximate p-th percentile (0–100) of a phase's latency from its
-    /// log2 buckets (see [`HistogramSnapshot::percentile`]).
+    /// log2 buckets (see [`HistogramSnapshot::percentile`]); zero for an
+    /// empty phase (the JSON schema keeps these fields as plain numbers).
     pub fn phase_percentile_nanos(phase: &PhaseReport, p: f64) -> u64 {
-        phase.as_snapshot().percentile(p)
+        phase.as_snapshot().percentile(p).unwrap_or(0)
     }
 }
 

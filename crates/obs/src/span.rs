@@ -7,15 +7,20 @@
 //! `span.<name>.count` counter. At `trace` level it also emits
 //! `span_enter` / `span_exit` records.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::time::Instant;
 
 use crate::level::{enabled, trace_enabled};
+use crate::live;
 use crate::metrics::global;
 use crate::trace::push_record;
 
 thread_local! {
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// The stack of open span names on this thread, outermost first. Fed
+    /// to the live span tree and (for registered threads) mirrored for
+    /// the sampling profiler.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
 pub(crate) fn current_depth() -> u32 {
@@ -44,6 +49,13 @@ pub fn span_enter(name: &'static str) -> SpanGuard {
         let depth = d.get();
         d.set(depth + 1);
         depth
+    });
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        if live::stack_mirror_enabled() {
+            live::mirror_stack(&stack);
+        }
     });
     if trace_enabled() {
         push_record("span_enter", depth, vec![("span".into(), name.into())]);
@@ -74,6 +86,20 @@ impl Drop for SpanGuard {
         };
         let nanos = inner.start.elapsed().as_nanos() as u64;
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // A level flip between enter and drop can desync the stack;
+            // only pop our own frame.
+            if stack.last().copied() == Some(inner.name) {
+                if live::span_tree_enabled() {
+                    live::record_tree(&stack, nanos);
+                }
+                stack.pop();
+                if live::stack_mirror_enabled() {
+                    live::mirror_stack(&stack);
+                }
+            }
+        });
         let reg = global();
         reg.histogram(&format!("span.{}", inner.name)).record(nanos);
         if trace_enabled() {
@@ -90,7 +116,7 @@ impl Drop for SpanGuard {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::level::{set_level, ObsLevel};
     use std::sync::{Mutex, OnceLock};

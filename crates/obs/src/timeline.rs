@@ -390,6 +390,7 @@ impl Timeline {
     }
 }
 
+#[derive(Debug)]
 struct LaneState {
     name: String,
     intervals: Vec<Interval>,
@@ -427,6 +428,7 @@ struct LaneState {
 /// assert_eq!(timeline.lanes.len(), 2);
 /// assert_eq!(timeline.edges.len(), 2, "one wake edge, one handoff edge");
 /// ```
+#[derive(Debug)]
 pub struct TimelineBuilder {
     clock: String,
     lanes: Vec<LaneState>,

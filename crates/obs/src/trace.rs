@@ -122,6 +122,66 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Render a drained trace stream as a Chrome Trace Event Format document:
+/// `span_enter`/`span_exit` pairs become `X` (complete) slices, everything
+/// else an instant event. Assumes a single-threaded stream (spans pair
+/// LIFO), which is what a lint run or any one-thread phase produces;
+/// unclosed spans are dropped.
+pub fn to_chrome_string(records: &[TraceRecord]) -> String {
+    let field = |r: &TraceRecord, key: &str| {
+        r.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let mut events = Vec::new();
+    let mut stack: Vec<(String, u64)> = Vec::new();
+    for r in records {
+        match r.name.as_str() {
+            "span_enter" => {
+                let name = field(r, "span").unwrap_or_else(|| "?".to_string());
+                stack.push((name, r.ts_micros));
+            }
+            "span_exit" => {
+                if let Some((name, start)) = stack.pop() {
+                    events.push(Json::obj([
+                        ("name".to_string(), Json::Str(name)),
+                        ("cat".to_string(), Json::Str("span".to_string())),
+                        ("ph".to_string(), Json::Str("X".to_string())),
+                        ("ts".to_string(), Json::Num(start as f64)),
+                        (
+                            "dur".to_string(),
+                            Json::Num(r.ts_micros.saturating_sub(start) as f64),
+                        ),
+                        ("pid".to_string(), Json::Num(1.0)),
+                        ("tid".to_string(), Json::Num(1.0)),
+                    ]));
+                }
+            }
+            _ => {
+                events.push(Json::obj([
+                    ("name".to_string(), Json::Str(r.name.clone())),
+                    ("cat".to_string(), Json::Str("event".to_string())),
+                    ("ph".to_string(), Json::Str("i".to_string())),
+                    ("s".to_string(), Json::Str("t".to_string())),
+                    ("ts".to_string(), Json::Num(r.ts_micros as f64)),
+                    ("pid".to_string(), Json::Num(1.0)),
+                    ("tid".to_string(), Json::Num(1.0)),
+                    (
+                        "args".to_string(),
+                        Json::obj(
+                            r.fields
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone()))),
+                        ),
+                    ),
+                ]));
+            }
+        }
+    }
+    Json::obj([("traceEvents".to_string(), Json::Arr(events))]).to_string_compact()
+}
+
 /// Parse a JSONL document produced by [`to_jsonl`].
 pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, crate::json::ParseError> {
     let mut out = Vec::new();
@@ -170,5 +230,36 @@ mod tests {
     fn from_jsonl_skips_blank_lines_rejects_garbage() {
         assert_eq!(from_jsonl("\n\n").unwrap(), vec![]);
         assert!(from_jsonl("{not json}\n").is_err());
+    }
+
+    #[test]
+    fn chrome_rendering_pairs_spans_and_keeps_events() {
+        let records = vec![
+            TraceRecord {
+                ts_micros: 10,
+                name: "span_enter".into(),
+                depth: 0,
+                fields: vec![("span".into(), "jcc.check".into())],
+            },
+            TraceRecord {
+                ts_micros: 20,
+                name: "probe.hit".into(),
+                depth: 1,
+                fields: vec![("k".into(), "v".into())],
+            },
+            TraceRecord {
+                ts_micros: 60,
+                name: "span_exit".into(),
+                depth: 0,
+                fields: vec![("span".into(), "jcc.check".into())],
+            },
+        ];
+        let text = to_chrome_string(&records);
+        assert!(text.contains("\"traceEvents\""), "{text}");
+        assert!(text.contains("\"jcc.check\""), "{text}");
+        assert!(text.contains("\"dur\":50"), "{text}");
+        assert!(text.contains("\"probe.hit\""), "{text}");
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("traceEvents").unwrap().as_arr().unwrap().len(), 2);
     }
 }

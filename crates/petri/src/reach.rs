@@ -206,15 +206,26 @@ impl ReachGraph {
         filter: &(impl Fn(&Marking, TransId) -> bool + Sync),
         mut red: ActiveReduction,
     ) -> ReachGraph {
-        if limits.parallelism.is_sequential() {
-            return Self::explore_sequential(net, limits, filter, &mut red);
+        // Live progress is publish-only: the cell is a mailbox watcher
+        // threads read; nothing in it feeds back into exploration.
+        let live = jcc_obs::progress_enabled();
+        if live {
+            jcc_obs::reach_progress().begin(limits.max_states as u64);
         }
-        match Self::explore_parallel(net, limits, filter, &red) {
-            Some(graph) => graph,
-            // Truncated: replay sequentially so the partial graph is the
-            // exact prefix the sequential engine reports.
-            None => Self::explore_sequential(net, limits, filter, &mut red),
+        let graph = if limits.parallelism.is_sequential() {
+            Self::explore_sequential(net, limits, filter, &mut red)
+        } else {
+            match Self::explore_parallel(net, limits, filter, &red) {
+                Some(graph) => graph,
+                // Truncated: replay sequentially so the partial graph is
+                // the exact prefix the sequential engine reports.
+                None => Self::explore_sequential(net, limits, filter, &mut red),
+            }
+        };
+        if live {
+            jcc_obs::reach_progress().finish(graph.stats.states as u64);
         }
+        graph
     }
 
     /// The pre-interning single-threaded engine, kept verbatim as the
@@ -353,6 +364,11 @@ impl ReachGraph {
         // in discovery order, so the arena doubles as the frontier.
         'outer: while cur < states.len() {
             tallies.frontier_peak = tallies.frontier_peak.max(states.len() - cur);
+            if cur & 1023 == 0 && jcc_obs::progress_enabled() {
+                let cell = jcc_obs::reach_progress();
+                cell.publish(states.len() as u64, (states.len() - cur) as u64, cur as u64);
+                cell.set_saved(tallies.ample_pruned + tallies.symmetry_hits);
+            }
             let m = states[cur];
             m.unpack_into(&mut scratch.0);
             // One successor: fire, canonicalize, dedup, record the edge.
@@ -455,6 +471,11 @@ impl ReachGraph {
         let mut cur = 0usize;
         'outer: while cur < store.len() {
             tallies.frontier_peak = tallies.frontier_peak.max(store.len() - cur);
+            if cur & 1023 == 0 && jcc_obs::progress_enabled() {
+                let cell = jcc_obs::reach_progress();
+                cell.publish(store.len() as u64, (store.len() - cur) as u64, cur as u64);
+                cell.set_saved(tallies.ample_pruned + tallies.symmetry_hits);
+            }
             scratch.0.copy_from_slice(store.tokens(StateId(cur as u32)));
             // One successor: fire in place (arc weights are pre-aggregated
             // by the builder, so per-place subtract/add matches
@@ -821,6 +842,7 @@ impl ReachGraph {
                     let mut steals: usize = 0;
                     let mut dedup_hits: usize = 0;
                     let mut batches: usize = 0;
+                    let mut expanded: usize = 0;
                     let mut local: Vec<SuccessorRecord<S>> = Vec::new();
                     // States grabbed but not yet expanded; they stay
                     // counted in `pending` until their record is pushed.
@@ -859,6 +881,9 @@ impl ReachGraph {
                                     }
                                     if !batch.is_empty() {
                                         steals += 1;
+                                        if jcc_obs::progress_enabled() {
+                                            jcc_obs::reach_progress().add_steals(1);
+                                        }
                                         break;
                                     }
                                 }
@@ -873,6 +898,14 @@ impl ReachGraph {
                             batches += 1;
                         }
                         let state = batch.pop_front().expect("non-empty batch");
+                        expanded += 1;
+                        if expanded & 1023 == 0 && jcc_obs::progress_enabled() {
+                            jcc_obs::reach_progress().publish(
+                                discovered.load(Ordering::Relaxed) as u64,
+                                pending.load(Ordering::Relaxed) as u64,
+                                0,
+                            );
+                        }
 
                         let mut succs: Vec<(TransId, S)> = Vec::new();
                         if expand(&mut ctx, &state, &mut succs) {

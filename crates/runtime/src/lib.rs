@@ -44,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod live;
 pub mod monitor;
 pub mod online;
 pub mod ring;
 
 pub use events::{current_thread_id, Event, EventKind, EventLog, MonitorId};
+pub use live::LiveTimeline;
 pub use monitor::{JavaMonitor, MonitorGuard};
 pub use online::{OnlineAlert, OnlineFinding, OnlineMonitor};
 pub use ring::SpscRing;

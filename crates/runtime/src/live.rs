@@ -1,0 +1,267 @@
+//! Alert-fed live timelines: build the causal schedule timeline *while the
+//! run is still going*, with online-monitor alerts stamped into it as typed
+//! notes the moment they fire.
+//!
+//! [`EventLog::timeline`] is a post-hoc read: snapshot the log, translate
+//! every event through the Figure-1 verb table, render. [`LiveTimeline`] is
+//! the same translation applied incrementally — feed it each drained event
+//! and it grows the in-flight [`Timeline`](jcc_obs::timeline::Timeline) one
+//! event at a time, runs an [`OnlineMonitor`] alongside, and appends every
+//! [`OnlineAlert`] as a note on the triggering thread's lane at the
+//! triggering event's clock value.
+//!
+//! The translation is byte-compatible with the post-hoc path: on a no-drop
+//! stream with no alerts, [`LiveTimeline::finish`] renders byte-identically
+//! to [`EventLog::timeline`] (same lanes, same intervals, same edges, same
+//! notes). Lane allocation is first-sight order, which equals the post-hoc
+//! pre-pass's first-event order, so lane indices agree too. When alerts do
+//! fire, the live timeline is the post-hoc one plus the alert notes — and
+//! feeding the same events in one batch ([`LiveTimeline::from_log`])
+//! produces the identical document, so "watched live" and "replayed later"
+//! tell the same story.
+
+use std::collections::HashMap;
+
+use jcc_obs::timeline::{Timeline, TimelineBuilder};
+
+use crate::events::{Event, EventKind, EventLog};
+use crate::online::OnlineMonitor;
+use jcc_petri::Transition;
+
+/// An incrementally-built causal timeline with online alerts stamped in as
+/// they fire. See the module docs.
+#[derive(Debug)]
+pub struct LiveTimeline {
+    builder: TimelineBuilder,
+    monitor: OnlineMonitor,
+    /// thread id → lane index, allocated on first sight (first-event order).
+    lanes: HashMap<u64, usize>,
+    /// How many of the monitor's alerts have already been stamped.
+    stamped: usize,
+    /// Events observed so far — the finished timeline's horizon.
+    events_seen: u64,
+}
+
+impl Default for LiveTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveTimeline {
+    /// A fresh live timeline (clock: `"events"`, like the post-hoc path).
+    pub fn new() -> Self {
+        LiveTimeline {
+            builder: TimelineBuilder::new("events"),
+            monitor: OnlineMonitor::new(),
+            lanes: HashMap::new(),
+            stamped: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// Replay convenience: feed every retained event of `log` in one batch.
+    /// Byte-equivalent to observing the same events one at a time.
+    pub fn from_log(log: &EventLog) -> Self {
+        let mut live = LiveTimeline::new();
+        for e in log.snapshot() {
+            live.observe(log, &e);
+        }
+        live
+    }
+
+    /// Feed one drained event: translate it into the timeline (the exact
+    /// [`EventLog::timeline`] verb table), run the online monitor on it,
+    /// and stamp any alert it raised as a note at the event's clock value.
+    /// `log` resolves monitor display names; pass the log the event came
+    /// from.
+    pub fn observe(&mut self, log: &EventLog, e: &Event) {
+        self.events_seen += 1;
+        let lane = match self.lanes.get(&e.thread) {
+            Some(&lane) => lane,
+            None => {
+                let lane = self.builder.lane(&format!("thread-{}", e.thread));
+                self.lanes.insert(e.thread, lane);
+                lane
+            }
+        };
+        let at = e.seq;
+        let monitor = log.monitor_name(e.monitor);
+        match &e.kind {
+            EventKind::Transition(Transition::T1) => self.builder.requests(lane, at, &monitor),
+            EventKind::Transition(Transition::T2) => self.builder.acquires(lane, at, &monitor),
+            EventKind::Transition(Transition::T3) => self.builder.waits(lane, at, &monitor),
+            EventKind::Transition(Transition::T4) => self.builder.releases(lane, at, &monitor),
+            EventKind::Transition(Transition::T5) => self.builder.woken(lane, at, &monitor),
+            EventKind::NotifyIssued { all, waiters } => {
+                self.builder.notify(lane, at, &monitor, *all, *waiters);
+            }
+            EventKind::MethodStart { .. } => self.builder.begins(lane, at),
+            EventKind::MethodEnd { .. } => self.builder.idles(lane, at),
+            EventKind::Read { .. }
+            | EventKind::Write { .. }
+            | EventKind::Marker { .. }
+            | EventKind::CaptureGap { .. } => {}
+        }
+        self.monitor.observe(e);
+        // Stamp anything the monitor just raised. Alerts carry the seq of
+        // the triggering event — this event — so the note lands on this
+        // lane at `at`, in raise order.
+        let alerts = self.monitor.alerts();
+        while self.stamped < alerts.len() {
+            let a = &alerts[self.stamped];
+            self.builder
+                .note(lane, a.seq, &format!("ALERT {}", a.finding));
+            self.stamped += 1;
+        }
+    }
+
+    /// The online monitor running alongside (alerts, verdicts, tallies).
+    pub fn monitor(&self) -> &OnlineMonitor {
+        &self.monitor
+    }
+
+    /// How many alerts have been stamped into the timeline so far.
+    pub fn alerts_stamped(&self) -> usize {
+        self.stamped
+    }
+
+    /// Events observed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Close every lane and return the finished timeline. The horizon is
+    /// the number of observed events — the post-hoc path's
+    /// `events.len()`.
+    pub fn finish(self) -> Timeline {
+        self.builder.finish(self.events_seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::MonitorId;
+    use jcc_petri::Transition as T;
+
+    /// A clean handoff: two threads take the same lock in turn. No races,
+    /// no cycles, no notifications — the online monitor stays silent.
+    fn quiet_handoff(log: &EventLog) {
+        let m = log.register_monitor("slot");
+        log.log_as(1, m, EventKind::Transition(T::T1));
+        log.log_as(1, m, EventKind::Transition(T::T2));
+        log.log_as(1, m, EventKind::Transition(T::T4));
+        log.log_as(2, m, EventKind::Transition(T::T1));
+        log.log_as(2, m, EventKind::Transition(T::T2));
+        log.log_as(2, m, EventKind::Transition(T::T4));
+    }
+
+    /// The FF-T5 walkthrough: the opener notifies into an empty wait set,
+    /// then the passer waits forever (the losing Gate schedule).
+    fn gate_walkthrough(log: &EventLog) {
+        let gate = log.register_monitor("gate");
+        log.log_as(2, gate, EventKind::Transition(T::T2));
+        log.log_as(
+            2,
+            gate,
+            EventKind::Write {
+                var: "open".to_string(),
+            },
+        );
+        log.log_as(2, gate, EventKind::NotifyIssued { all: false, waiters: 0 });
+        log.log_as(2, gate, EventKind::Transition(T::T4));
+        log.log_as(1, gate, EventKind::Transition(T::T2));
+        log.log_as(1, gate, EventKind::Transition(T::T3));
+    }
+
+    #[test]
+    fn quiet_stream_byte_matches_the_posthoc_timeline() {
+        let log = EventLog::new();
+        quiet_handoff(&log);
+        let mut live = LiveTimeline::new();
+        for e in log.snapshot() {
+            live.observe(&log, &e);
+        }
+        assert_eq!(live.alerts_stamped(), 0, "handoff raises no alerts");
+        let live_t = live.finish();
+        let posthoc = log.timeline();
+        assert_eq!(live_t, posthoc);
+        assert_eq!(live_t.render_ascii(), posthoc.render_ascii());
+        assert_eq!(live_t.to_chrome_string(), posthoc.to_chrome_string());
+    }
+
+    #[test]
+    fn incremental_and_batch_builds_are_byte_identical() {
+        let log = EventLog::new();
+        gate_walkthrough(&log);
+        let mut incremental = LiveTimeline::new();
+        for e in log.snapshot() {
+            incremental.observe(&log, &e);
+        }
+        let batch = LiveTimeline::from_log(&log);
+        assert_eq!(incremental.alerts_stamped(), batch.alerts_stamped());
+        let a = incremental.finish();
+        let b = batch.finish();
+        assert_eq!(a, b);
+        assert_eq!(a.render_ascii(), b.render_ascii());
+        assert_eq!(a.to_chrome_string(), b.to_chrome_string());
+    }
+
+    #[test]
+    fn gate_alert_is_stamped_at_the_notify_event() {
+        let log = EventLog::new();
+        gate_walkthrough(&log);
+        let live = LiveTimeline::from_log(&log);
+        assert!(live.alerts_stamped() >= 1, "FF-T5 fires mid-run");
+        let events = log.snapshot();
+        let notify_seq = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::NotifyIssued { .. }))
+            .unwrap()
+            .seq;
+        let t = live.finish();
+        let alert_note = t
+            .notes
+            .iter()
+            .find(|n| n.text.starts_with("ALERT FF-T5"))
+            .expect("the lost notification is stamped as a note");
+        assert_eq!(alert_note.at, notify_seq);
+        // The note sits on the opener's lane (thread 2 logged first → lane 0).
+        assert_eq!(t.lanes[alert_note.lane].name, "thread-2");
+        // The live timeline is the post-hoc one plus alert notes: the
+        // builder's own lost-notification note is still there too.
+        assert!(t
+            .notes
+            .iter()
+            .any(|n| n.text.contains("lost notification")));
+    }
+
+    #[test]
+    fn live_monitor_verdicts_match_a_standalone_monitor() {
+        let log = EventLog::new();
+        gate_walkthrough(&log);
+        let live = LiveTimeline::from_log(&log);
+        let mut standalone = OnlineMonitor::new();
+        standalone.observe_all(&log.snapshot());
+        assert_eq!(live.monitor().verdicts(), standalone.verdicts());
+        assert_eq!(live.events_seen(), standalone.events_seen());
+    }
+
+    #[test]
+    fn monitorless_events_resolve_the_none_name() {
+        let log = EventLog::new();
+        log.log_as(
+            1,
+            MonitorId(0),
+            EventKind::Marker {
+                method: "m".into(),
+                path: vec![0],
+            },
+        );
+        let live = LiveTimeline::from_log(&log);
+        let t = live.finish();
+        assert_eq!(t.lanes.len(), 1, "markers still allocate the lane");
+        assert_eq!(t.horizon, 1);
+    }
+}

@@ -186,6 +186,12 @@ fn explore_stoppable(
     stop: Option<&AtomicBool>,
 ) -> (ExploreResult, bool) {
     let _span = jcc_obs::span!("vm.explore");
+    // Live progress is publish-only (a mailbox watcher threads read);
+    // portfolio probes share the cell, so the heartbeat tracks whichever
+    // exploration reported most recently.
+    if jcc_obs::progress_enabled() {
+        jcc_obs::explore_progress().begin(config.max_states as u64);
+    }
     let mut result = ExploreResult {
         states: 1,
         transitions: 0,
@@ -227,6 +233,9 @@ fn explore_stoppable(
     );
     if jcc_obs::enabled() {
         flush_explore_stats(&result);
+    }
+    if jcc_obs::progress_enabled() {
+        jcc_obs::explore_progress().finish(result.states as u64);
     }
     (result, stopped)
 }
@@ -398,6 +407,15 @@ fn visit(
         return;
     }
     result.states += 1;
+    if result.states & 1023 == 0 && jcc_obs::progress_enabled() {
+        // The DFS has no frontier width; publish the on-path set size
+        // (current schedule prefix length) and the recursion depth.
+        jcc_obs::explore_progress().publish(
+            result.states as u64,
+            on_path.len() as u64,
+            depth as u64,
+        );
+    }
     on_path.insert(key);
     dfs(
         next,

@@ -221,6 +221,135 @@ fn timeline_renderings_identical_at_any_parallelism() {
     }
 }
 
+/// Run `f` with the ENTIRE live-introspection stack active: summary
+/// metrics, span tree, progress publication, the stack-mirroring sampling
+/// profiler, a heartbeat watcher, and the metrics exposition endpoint
+/// (scraped once mid-run to exercise the render path).
+fn with_live_stack<T>(f: impl FnOnce() -> T) -> T {
+    use std::time::Duration;
+    obs::set_level(obs::ObsLevel::Summary);
+    obs::global().reset();
+    let _ = obs::drain_trace();
+    obs::SpanTree::reset();
+    obs::set_span_tree(true);
+    obs::set_progress(true);
+    let _worker = obs::register_thread("determinism-test");
+    let profiler = obs::Profiler::start(Duration::from_millis(2), 7);
+    let heartbeat = obs::Heartbeat::start(Duration::from_millis(5), |_| {});
+    let server = obs::ExposeServer::start(0).expect("bind ephemeral port");
+    let result = f();
+    let scrape = obs::fetch_metrics(server.local_addr()).expect("scrape mid-stack");
+    assert!(scrape.contains("# TYPE"), "scrape renders: {scrape}");
+    server.stop();
+    heartbeat.stop();
+    let _ = profiler.stop();
+    obs::set_progress(false);
+    obs::set_span_tree(false);
+    obs::set_level(obs::ObsLevel::Off);
+    result
+}
+
+#[test]
+fn reach_graph_unchanged_by_live_introspection() {
+    // The tentpole guarantee: the full live stack (profiler sampling the
+    // engine thread, heartbeats draining the progress cell, exposition
+    // serving scrapes) produces byte-identical reachability graphs at any
+    // worker count.
+    let _guard = obs_lock();
+    let j = JavaNet::new(3);
+    let reference = with_level(obs::ObsLevel::Off, || ReachGraph::explore(j.net(), limits(1)));
+    let reference_fp = graph_fingerprint(&reference);
+    for threads in [1usize, 2, 4] {
+        let g = with_live_stack(|| ReachGraph::explore(j.net(), limits(threads)));
+        assert_eq!(
+            graph_fingerprint(&g),
+            reference_fp,
+            "live stack changed the graph at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn explore_verdicts_unchanged_by_live_introspection() {
+    let _guard = obs_lock();
+    let reference = with_level(obs::ObsLevel::Off, || {
+        explore(pc_vm(), &ExploreConfig::default(), None)
+    });
+    // Sequential explorer under the live stack.
+    let live = with_live_stack(|| explore(pc_vm(), &ExploreConfig::default(), None));
+    assert_eq!(live.tally(), reference.tally());
+    // Portfolio census at parallelism 1/2/4 under the live stack.
+    for threads in [1usize, 2, 4] {
+        let census = with_live_stack(|| {
+            explore_portfolio(
+                pc_vm(),
+                &PortfolioConfig {
+                    explore: ExploreConfig {
+                        parallelism: Parallelism::with_threads(threads),
+                        ..ExploreConfig::default()
+                    },
+                    ..PortfolioConfig::default()
+                },
+            )
+            .result
+            .expect("census completes without early_exit")
+        });
+        assert_eq!(
+            census.tally(),
+            reference.tally(),
+            "live stack changed the verdict at parallelism {threads}"
+        );
+    }
+}
+
+#[test]
+fn live_timeline_byte_matches_posthoc_on_the_gate_walkthrough() {
+    // The alert-fed live timeline, built while events stream in, must be
+    // the post-hoc timeline plus the alert notes — and incremental vs
+    // batch construction must agree byte-for-byte on the FF-T5 Gate
+    // walkthrough (the paper's lost-notification schedule).
+    use jcc_core::petri::Transition as T;
+    use jcc_core::runtime::{EventKind, EventLog, LiveTimeline};
+    let log = EventLog::new();
+    let gate = log.register_monitor("gate");
+    log.log_as(2, gate, EventKind::Transition(T::T2));
+    log.log_as(
+        2,
+        gate,
+        EventKind::Write {
+            var: "open".to_string(),
+        },
+    );
+    log.log_as(2, gate, EventKind::NotifyIssued { all: false, waiters: 0 });
+    log.log_as(2, gate, EventKind::Transition(T::T4));
+    log.log_as(1, gate, EventKind::Transition(T::T2));
+    log.log_as(1, gate, EventKind::Transition(T::T3));
+
+    // Live, one event at a time — as the watcher drains the stream.
+    let mut live = LiveTimeline::new();
+    for e in log.snapshot() {
+        live.observe(&log, &e);
+    }
+    assert!(live.alerts_stamped() >= 1, "FF-T5 fires mid-run");
+    let live_t = live.finish();
+    // Post-hoc, all at once from the same log.
+    let posthoc_t = LiveTimeline::from_log(&log).finish();
+    assert_eq!(live_t.render_ascii(), posthoc_t.render_ascii());
+    assert_eq!(live_t.to_chrome_string(), posthoc_t.to_chrome_string());
+    // The live rendering carries the alert where the plain post-hoc
+    // timeline only carries the builder's lost-notification note.
+    let ascii = live_t.render_ascii();
+    assert!(ascii.contains("ALERT FF-T5"), "{ascii}");
+    let plain = log.timeline().render_ascii();
+    assert!(!plain.contains("ALERT"), "{plain}");
+    // Lanes, intervals and edges are identical to the plain timeline —
+    // the alert notes are a pure addition.
+    let plain_t = log.timeline();
+    assert_eq!(live_t.lanes, plain_t.lanes);
+    assert_eq!(live_t.edges, plain_t.edges);
+    assert_eq!(live_t.horizon, plain_t.horizon);
+}
+
 #[test]
 fn observation_off_records_nothing() {
     let _guard = obs_lock();
